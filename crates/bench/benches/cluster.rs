@@ -1,0 +1,40 @@
+//! Microbenches for the clustering pipeline and client-side centroid
+//! selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use tiptoe_cluster::{cluster_documents, ClusterConfig};
+use tiptoe_embed::vector::normalize;
+use tiptoe_math::rng::seeded_rng;
+
+fn points(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            normalize(&mut v);
+            v
+        })
+        .collect()
+}
+
+fn bench_cluster_pipeline(c: &mut Criterion) {
+    let pts = points(4000, 64, 1);
+    let config = ClusterConfig::for_corpus(4000, 2);
+    c.bench_function("cluster_4000x64", |b| b.iter(|| cluster_documents(&pts, &config)));
+}
+
+fn bench_centroid_selection(c: &mut Criterion) {
+    let pts = points(4000, 64, 3);
+    let config = ClusterConfig::for_corpus(4000, 4);
+    let clustering = cluster_documents(&pts, &config);
+    let q = &pts[17];
+    c.bench_function("nearest_centroid_64c", |b| b.iter(|| clustering.nearest_centroid(q)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cluster_pipeline, bench_centroid_selection
+}
+criterion_main!(benches);

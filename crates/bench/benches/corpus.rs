@@ -1,0 +1,45 @@
+//! Microbenches for the corpus substrate: tzip compression throughput
+//! on URL batches (the §5 "compress roughly 880 of them at a time"
+//! workload) and the synthetic corpus generator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_corpus::tzip;
+
+fn url_blob(n: usize) -> Vec<u8> {
+    let mut blob = String::new();
+    for i in 0..n {
+        blob.push_str(&format!(
+            "https://www.site-{}.example.org/section/{}/article-{}\n",
+            i % 23,
+            i % 7,
+            i
+        ));
+    }
+    blob.into_bytes()
+}
+
+fn bench_tzip(c: &mut Criterion) {
+    let blob = url_blob(880);
+    let mut group = c.benchmark_group("tzip");
+    group.throughput(Throughput::Bytes(blob.len() as u64));
+    group.bench_function("compress_880_urls", |b| b.iter(|| tzip::compress(&blob)));
+    let compressed = tzip::compress(&blob);
+    group.bench_function("decompress_880_urls", |b| {
+        b.iter(|| tzip::decompress(&compressed).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    c.bench_function("generate_1000_docs", |b| {
+        b.iter(|| generate(&CorpusConfig::small(1000, 5), 10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tzip, bench_corpus_generation
+}
+criterion_main!(benches);

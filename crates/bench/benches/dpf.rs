@@ -1,0 +1,34 @@
+//! Microbenches for the DPF substrate of the two-server mode (§9):
+//! key generation and the full-domain expansion that dominates the
+//! servers' per-query work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiptoe_math::rng::seeded_rng;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let beta = vec![7u32; 192];
+    c.bench_function("dpf_generate_h14_d192", |b| {
+        b.iter(|| tiptoe_dpf::generate(14, 1234, &beta, &mut rng))
+    });
+}
+
+fn bench_full_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpf_full_eval");
+    let mut rng = seeded_rng(2);
+    for height in [8u32, 10, 12] {
+        let beta = vec![7u32; 192];
+        let (k0, _) = tiptoe_dpf::generate(height, 17, &beta, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{height}_leaves")), &k0, |b, k| {
+            b.iter(|| tiptoe_dpf::full_eval(k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generate, bench_full_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenches for the embedding substrate: text embedding, PCA
+//! projection, and quantization (the client-local per-query work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiptoe_embed::pca::Pca;
+use tiptoe_embed::quantize::Quantizer;
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_embed::Embedder;
+
+fn bench_embed_text(c: &mut Criterion) {
+    let embedder = TextEmbedder::paper_text(1);
+    let query = "private web search with homomorphic encryption at scale";
+    c.bench_function("embed_query_768", |b| b.iter(|| embedder.embed_text(query)));
+    let doc: String = (0..512).map(|i| format!("word{} ", i % 97)).collect();
+    c.bench_function("embed_document_768_512tok", |b| b.iter(|| embedder.embed_text(&doc)));
+}
+
+fn bench_pca_project(c: &mut Criterion) {
+    let embedder = TextEmbedder::paper_text(2);
+    let samples: Vec<Vec<f32>> =
+        (0..256).map(|i| embedder.embed_text(&format!("sample document {i}"))).collect();
+    let pca = Pca::fit(&samples, 192, 3);
+    let q = embedder.embed_text("the query");
+    c.bench_function("pca_project_768_to_192", |b| b.iter(|| pca.project(&q)));
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let quant = Quantizer::paper_text();
+    let v: Vec<f32> = (0..192).map(|i| ((i as f32) / 192.0) * 2.0 - 1.0).collect();
+    c.bench_function("quantize_192_to_zp", |b| b.iter(|| quant.to_zp(&v)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_embed_text, bench_pca_project, bench_quantize
+}
+criterion_main!(benches);

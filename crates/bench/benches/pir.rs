@@ -1,0 +1,45 @@
+//! Microbenches for the URL-retrieval PIR: server answer throughput
+//! over the packed record matrix (the §5 linear scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+use tiptoe_lwe::LweParams;
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_pir::{PirClient, PirDatabase, PirServer};
+use tiptoe_rlwe::RlweParams;
+use tiptoe_underhood::{ClientKey, Underhood};
+
+fn bench_pir_answer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pir_answer");
+    let mut rng = seeded_rng(1);
+    let lwe = LweParams { n: 256, log_q: 32, p: 991, sigma: 6.4 };
+    let uh = Underhood::with_outer(
+        lwe,
+        RlweParams { degree: 2048, q_bits: 62, t: 1 << 28, sigma: 3.2 },
+        44,
+    );
+    for &(records, record_bytes) in &[(64usize, 4096usize), (256, 4096)] {
+        let recs: Vec<Vec<u8>> =
+            (0..records).map(|_| (0..record_bytes).map(|_| rng.gen()).collect()).collect();
+        let db = PirDatabase::build_with_params(&recs, lwe);
+        let bytes = db.storage_bytes();
+        let server = PirServer::new(db, 7, uh.clone());
+        let key = ClientKey::generate(&uh, lwe.n, &mut rng);
+        let client = PirClient::new(&uh, &key);
+        let ct = client.query(&server.public_matrix(), records, records / 2, &mut rng);
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{records}rec_x{record_bytes}B")),
+            &(server, ct),
+            |b, (server, ct)| b.iter(|| server.answer(ct)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pir_answer
+}
+criterion_main!(benches);

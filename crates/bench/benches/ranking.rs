@@ -1,0 +1,62 @@
+//! End-to-end benches of the two services: the ranking answer (the
+//! per-query critical path of §4) and a full client search, including
+//! the token-amortized throughput view of Table 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_underhood::{ClientKey, EncryptedSecret};
+
+fn build() -> TiptoeInstance<TextEmbedder> {
+    let n = 2000;
+    let corpus = generate(&CorpusConfig::small(n, 5), 0);
+    let config = TiptoeConfig::test_small(n, 5);
+    let embedder = TextEmbedder::new(config.d_embed, 5, 0);
+    TiptoeInstance::build(&config, embedder, &corpus)
+}
+
+fn bench_ranking_answer(c: &mut Criterion) {
+    let instance = build();
+    let mut rng = seeded_rng(1);
+    let uh = instance.ranking.underhood();
+    let key = ClientKey::generate(uh, instance.config.rank_lwe.n, &mut rng);
+    let v = vec![0u64; instance.ranking.upload_dim()];
+    let ct = uh.encrypt_query::<u64, _>(&key, &instance.ranking.public_matrix(), &v, &mut rng);
+    c.bench_function("ranking_answer_2000docs", |b| b.iter(|| instance.ranking.answer(&ct)));
+}
+
+fn bench_token_generation(c: &mut Criterion) {
+    let instance = build();
+    let mut rng = seeded_rng(2);
+    let uh = instance.ranking.underhood();
+    let key = ClientKey::generate(uh, instance.config.rank_lwe.n, &mut rng);
+    let es = EncryptedSecret::encrypt(uh, &key, &mut rng);
+    c.bench_function("ranking_token_2000docs", |b| b.iter(|| instance.ranking.generate_token(&es)));
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    let instance = build();
+    let mut client = instance.new_client(3);
+    // Prefetch enough tokens that the measured loop stays online-only.
+    for _ in 0..32 {
+        client.fetch_token(&instance);
+    }
+    c.bench_function("full_search_online_2000docs", |b| {
+        b.iter(|| {
+            if client.tokens_available() == 0 {
+                client.fetch_token(&instance);
+            }
+            client.search(&instance, "health doctor clinic", 10)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ranking_answer, bench_token_generation, bench_full_search
+}
+criterion_main!(benches);

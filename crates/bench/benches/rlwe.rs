@@ -1,0 +1,67 @@
+//! Microbenches for the outer RLWE scheme: NTTs at the production ring
+//! degree and the plaintext-multiply-accumulate kernel that dominates
+//! token generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use tiptoe_math::ntt::NttTable;
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_rlwe::{
+    encrypt_scalar, expand, mod_switch, mul_plain_acc, RlweCiphertext, RlweContext, RlweParams,
+    RlweSecretKey,
+};
+
+fn bench_ntt(c: &mut Criterion) {
+    let table = NttTable::new(2048, 62);
+    let q = table.modulus().value();
+    let mut rng = seeded_rng(1);
+    let data: Vec<u64> = (0..2048).map(|_| rng.gen_range(0..q)).collect();
+    c.bench_function("ntt_forward_2048", |b| {
+        b.iter(|| {
+            let mut a = data.clone();
+            table.forward(&mut a);
+            a
+        })
+    });
+    let mut fwd = data.clone();
+    table.forward(&mut fwd);
+    c.bench_function("ntt_inverse_2048", |b| {
+        b.iter(|| {
+            let mut a = fwd.clone();
+            table.inverse(&mut a);
+            a
+        })
+    });
+}
+
+fn bench_mul_plain_acc(c: &mut Criterion) {
+    let ctx = RlweContext::new(RlweParams::production());
+    let mut rng = seeded_rng(2);
+    let sk = RlweSecretKey::generate(&ctx, &mut rng);
+    let z = expand(&ctx, &encrypt_scalar(&ctx, &sk, 1, 3, &mut rng));
+    let h_coeffs: Vec<u64> = (0..2048).map(|_| rng.gen_range(0..1u64 << 16)).collect();
+    let h = ctx.plaintext_ntt(&h_coeffs);
+    c.bench_function("rlwe_mul_plain_acc_2048", |b| {
+        b.iter(|| {
+            let mut acc = RlweCiphertext::zero(&ctx);
+            mul_plain_acc(&mut acc, &h, &z);
+            acc
+        })
+    });
+}
+
+fn bench_mod_switch(c: &mut Criterion) {
+    let ctx = RlweContext::new(RlweParams::production());
+    let mut rng = seeded_rng(4);
+    let sk = RlweSecretKey::generate(&ctx, &mut rng);
+    let m = vec![0i64; 2048];
+    let ct = expand(&ctx, &tiptoe_rlwe::encrypt(&ctx, &sk, &m, 5, &mut rng));
+    c.bench_function("rlwe_mod_switch_2048", |b| b.iter(|| mod_switch(&ctx, &ct, 44)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ntt, bench_mul_plain_acc, bench_mod_switch
+}
+criterion_main!(benches);

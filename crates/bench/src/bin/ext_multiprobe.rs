@@ -1,0 +1,100 @@
+//! Extension experiment: multi-probe search (paper §8.2: "Querying
+//! more clusters could improve search quality, but would substantially
+//! increase Tiptoe's costs").
+//!
+//! Sweeps the number of probed clusters and reports search quality
+//! (via the plaintext-equivalent evaluator — quality only depends on
+//! which clusters are scored) against the linear cost multiplier.
+//!
+//! ```text
+//! cargo run --release -p tiptoe-bench --bin ext_multiprobe [docs] [queries]
+//! ```
+
+use tiptoe_bench::fmt_mrr;
+use tiptoe_cluster::{cluster_documents, ClusterConfig};
+use tiptoe_embed::pca::Pca;
+use tiptoe_embed::quantize::Quantizer;
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_embed::vector::normalize;
+use tiptoe_embed::Embedder;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_ir::metrics::QualityReport;
+use tiptoe_ir::topk::TopK;
+use tiptoe_ir::SearchHit;
+
+fn main() {
+    let docs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let queries: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(300);
+    println!("== Extension: multi-probe cluster search ({docs} docs, {queries} queries) ==\n");
+
+    let corpus = generate(&CorpusConfig::small(docs, 93), queries);
+    let embedder = TextEmbedder::paper_text(93);
+
+    // Batch side (same as the full-Tiptoe pipeline).
+    let raw: Vec<Vec<f32>> = corpus.docs.iter().map(|d| embedder.embed_text(&d.text)).collect();
+    let pca = Pca::fit(&raw.iter().take(2048).cloned().collect::<Vec<_>>(), 192, 1);
+    let reduced: Vec<Vec<f32>> = raw
+        .iter()
+        .map(|v| {
+            let mut r = pca.project(v);
+            normalize(&mut r);
+            r
+        })
+        .collect();
+    let clustering = cluster_documents(&reduced, &ClusterConfig::for_corpus(docs, 7));
+    let quant = Quantizer::paper_text();
+    let q_docs: Vec<Vec<i64>> = reduced.iter().map(|v| quant.to_signed(v)).collect();
+
+    println!("{:>7} {:>9} {:>12} {:>14} {:>16}", "probes", "MRR@100", "hit rate", "online cost", "server compute");
+    let mut last_mrr = 0.0;
+    for probes in [1usize, 2, 3, 5, 8] {
+        let mut results = Vec::new();
+        let mut hits_in_probed = 0usize;
+        for q in &corpus.queries {
+            let mut q_emb = pca.project(&embedder.embed_text(&q.text));
+            normalize(&mut q_emb);
+            let q_quant = quant.to_signed(&q_emb);
+            let probe_clusters = clustering.nearest_centroids(&q_emb, probes);
+            if probe_clusters
+                .iter()
+                .any(|&c| clustering.members[c].contains(&q.relevant))
+            {
+                hits_in_probed += 1;
+            }
+            let mut top = TopK::new(100);
+            let mut seen = std::collections::HashSet::new();
+            for &c in &probe_clusters {
+                for &m in &clustering.members[c] {
+                    if seen.insert(m) {
+                        let score: i64 = q_docs[m as usize]
+                            .iter()
+                            .zip(q_quant.iter())
+                            .map(|(&a, &b)| a * b)
+                            .sum();
+                        top.push(SearchHit { doc: m, score: score as f32 });
+                    }
+                }
+            }
+            results.push(top.into_sorted());
+        }
+        let relevant: Vec<u32> = corpus.queries.iter().map(|q| q.relevant).collect();
+        let report = QualityReport::evaluate(&results, &relevant, 100);
+        println!(
+            "{:>7} {:>9} {:>11.1}% {:>13}x {:>15}x",
+            probes,
+            fmt_mrr(report.mrr),
+            100.0 * hits_in_probed as f64 / corpus.queries.len() as f64,
+            probes,
+            probes,
+        );
+        assert!(
+            report.mrr >= last_mrr - 1e-9,
+            "more probes must not reduce quality: {} after {}",
+            report.mrr,
+            last_mrr
+        );
+        last_mrr = report.mrr;
+    }
+    println!("\nQuality rises monotonically with probes while online cost and server");
+    println!("compute grow linearly — the trade-off §8.2 declines to pay by default.");
+}

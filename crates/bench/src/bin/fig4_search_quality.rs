@@ -1,0 +1,120 @@
+//! Reproduces **Figure 4** (§8.2): search quality on the MS-MARCO-like
+//! benchmark for ColBERT (reported), exhaustive embeddings, BM25,
+//! tf-idf (unrestricted and Coeus-restricted), and Tiptoe — MRR@100 on
+//! the left, the rank CDF with the cluster-hit bound on the right.
+//!
+//! Absolute MRR values differ from the paper's (the embedding model is
+//! a synthetic stand-in, DESIGN.md §2); the *relationships* are the
+//! reproduction target: exhaustive ≥ BM25/tf-idf-like ≥ Tiptoe;
+//! restricted-dictionary tf-idf collapses; Tiptoe's CDF is bounded by
+//! its cluster-hit rate.
+//!
+//! ```text
+//! cargo run --release -p tiptoe-bench --bin fig4_search_quality [docs] [queries]
+//! ```
+
+use tiptoe_bench::{evaluate_variant, fmt_mrr, verify_crypto_agreement, AblationFlags, VariantConfig};
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_ir::bm25::Bm25;
+use tiptoe_ir::metrics::QualityReport;
+use tiptoe_ir::tfidf::TfIdf;
+use tiptoe_ir::{Retriever, SearchHit};
+
+/// ColBERT's MRR@100 from the MS MARCO leaderboard, which the paper
+/// reports rather than measuring (§8.2).
+const COLBERT_REPORTED_MRR: f64 = 0.40;
+
+fn evaluate<R: Retriever>(r: &R, corpus: &tiptoe_corpus::synth::Corpus) -> QualityReport {
+    let results: Vec<Vec<SearchHit>> =
+        corpus.queries.iter().map(|q| r.search(&q.text, 100)).collect();
+    let relevant: Vec<u32> = corpus.queries.iter().map(|q| q.relevant).collect();
+    QualityReport::evaluate(&results, &relevant, 100)
+}
+
+fn main() {
+    let docs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let queries: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(300);
+    println!("== Figure 4: search quality ({docs} docs, {queries} queries) ==\n");
+
+    let corpus = generate(&CorpusConfig::small(docs, 97), queries);
+    let embedder = TextEmbedder::paper_text(97);
+    let texts = corpus.texts();
+
+    // Crypto/plaintext agreement spot-check on a small instance.
+    {
+        let small = generate(&CorpusConfig::small(300, 97), 10);
+        let cfg = TiptoeConfig::test_small(300, 97);
+        let small_embedder = TextEmbedder::new(cfg.d_embed, 97, 0);
+        let inst = TiptoeInstance::build(&cfg, small_embedder, &small);
+        verify_crypto_agreement(&inst, &small, 5);
+        println!("[ok] private pipeline agrees with the plaintext evaluator (5 queries)\n");
+    }
+
+    // Baselines.
+    let bm25 = evaluate(&Bm25::build(&texts), &corpus);
+    let tfidf = evaluate(&TfIdf::build(&texts), &corpus);
+    let tfidf_restricted = evaluate(&TfIdf::build_restricted(&texts, 65), &corpus);
+
+    // Embedding variants via the shared harness.
+    let vconf = VariantConfig { d_reduced: 192, ..Default::default() };
+    let none = AblationFlags {
+        clustering: false,
+        chunk_restrict: false,
+        semantic_chunks: false,
+        dual_assign: false,
+        pca: false,
+    };
+    let exhaustive = evaluate_variant(&corpus, &embedder, none, &vconf);
+    let tiptoe = evaluate_variant(&corpus, &embedder, AblationFlags::full(), &vconf);
+
+    println!("-- MRR@100 (left panel) --");
+    println!("{:<34} {:>8} {:>12}", "system", "MRR@100", "mean rank");
+    println!("{:<34} {:>8}    (reported from the MS MARCO leaderboard)", "ColBERT (not private)", fmt_mrr(COLBERT_REPORTED_MRR));
+    println!("{:<34} {:>8} {:>12.1}", "Embeddings (not private)", fmt_mrr(exhaustive.report.mrr), exhaustive.report.mean_found_rank());
+    println!("{:<34} {:>8} {:>12.1}", "BM25 (not private)", fmt_mrr(bm25.mrr), bm25.mean_found_rank());
+    println!("{:<34} {:>8} {:>12.1}", "tf-idf (not private)", fmt_mrr(tfidf.mrr), tfidf.mean_found_rank());
+    println!("{:<34} {:>8} {:>12.1}", "tf-idf, Coeus 65-term dictionary", fmt_mrr(tfidf_restricted.mrr), tfidf_restricted.mean_found_rank());
+    println!("{:<34} {:>8} {:>12.1}", "Tiptoe (private)", fmt_mrr(tiptoe.report.mrr), tiptoe.report.mean_found_rank());
+
+    println!("\n-- rank CDF (right panel): % queries with best result at index <= i --");
+    println!("{:>6} {:>14} {:>10} {:>10} {:>14}", "i", "Embeddings", "tf-idf", "Tiptoe", "cluster bound");
+    for i in [1usize, 5, 10, 25, 50, 75, 100] {
+        println!(
+            "{:>6} {:>13.1}% {:>9.1}% {:>9.1}% {:>13.1}%",
+            i,
+            100.0 * exhaustive.report.cdf_at(i),
+            100.0 * tfidf.cdf_at(i),
+            100.0 * tiptoe.report.cdf_at(i),
+            100.0 * tiptoe.cluster_hit_rate,
+        );
+    }
+
+    // With a synthetic (lexical) embedder the absolute "Tiptoe ≈
+    // tf-idf" relation of the paper cannot transfer — a hashing
+    // embedder has no learned paraphrase generalization (DESIGN.md
+    // §2). The faithful, embedder-independent reproduction target is
+    // the *clustering loss*: the ratio of Tiptoe's MRR to its own
+    // exhaustive-embedding upper bound (paper: ≈0.17/0.33 ≈ 0.5).
+    let ratio = tiptoe.report.mrr / exhaustive.report.mrr.max(1e-9);
+    println!("\nTiptoe / exhaustive MRR ratio: {ratio:.2} (paper: ~0.5)");
+    println!("\n-- paper-shape checks --");
+    let checks: [(&str, bool); 5] = [
+        ("exhaustive >= Tiptoe", exhaustive.report.mrr >= tiptoe.report.mrr - 1e-9),
+        ("restricted tf-idf collapses vs tf-idf", tfidf_restricted.mrr < tfidf.mrr * 0.7),
+        ("Tiptoe retains ~half of exhaustive MRR (paper: ~0.5)",
+            (0.3..=0.85).contains(&ratio)),
+        ("Tiptoe CDF bounded by cluster-hit rate",
+            tiptoe.report.recall() <= tiptoe.cluster_hit_rate + 1e-9),
+        ("cluster-hit bound in a plausible range (paper: ~35%)",
+            (0.1..=0.9).contains(&tiptoe.cluster_hit_rate)),
+    ];
+    let mut all_ok = true;
+    for (name, ok) in checks {
+        println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, name);
+        all_ok &= ok;
+    }
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

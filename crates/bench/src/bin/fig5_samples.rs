@@ -1,0 +1,83 @@
+//! Reproduces **Figure 5 / Appendix E**: sample Tiptoe search results —
+//! random benchmark queries with their top privately-retrieved URLs,
+//! for both text search and text-to-image search.
+//!
+//! Every answer below went through the full private pipeline
+//! (encrypted ranking + PIR URL fetch); ground-truth answers are
+//! marked the way the paper highlights the human-chosen result.
+//!
+//! ```text
+//! cargo run --release -p tiptoe-bench --bin fig5_samples [docs]
+//! ```
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, BenchmarkQuery, Corpus, CorpusConfig, Document};
+use tiptoe_embed::clip::ClipLikeEmbedder;
+use tiptoe_embed::text::TextEmbedder;
+
+fn main() {
+    let docs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1500);
+
+    // ---- Text search (top half of Figure 5). ----
+    println!("== Figure 5 (top): random text-search queries ==\n");
+    let corpus = generate(&CorpusConfig::small(docs, 95), 40);
+    let config = TiptoeConfig::test_small(docs, 95);
+    let embedder = TextEmbedder::new(config.d_embed, 95, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    let mut client = instance.new_client(1);
+    for q in corpus.queries.iter().take(6) {
+        let results = client.search(&instance, &q.text, 3);
+        println!("Q: {}", q.text);
+        for (i, hit) in results.hits.iter().enumerate() {
+            let mark = if hit.doc == q.relevant { "  <- ground truth" } else { "" };
+            println!("  {}. {}{}", i + 1, hit.url, mark);
+        }
+        println!();
+    }
+
+    // ---- Text-to-image search (bottom half). ----
+    println!("== Figure 5 (bottom): random text-to-image queries ==\n");
+    let clip = ClipLikeEmbedder::new(96, 96, 0.3);
+    let captions: Vec<String> = (0..docs.min(400))
+        .map(|i| {
+            let subjects = ["a train", "a small dog", "a young man", "a red kite", "two boats"];
+            let scenes = ["next to a station", "wearing a life jacket", "in a blue shirt",
+                          "over the beach", "at the dock"];
+            format!("{} {}", subjects[i % 5], scenes[(i / 5) % 5])
+        })
+        .collect();
+    let mut image_docs = Vec::new();
+    let mut latents = Vec::new();
+    for (i, c) in captions.iter().enumerate() {
+        let img = clip.embed_image(i as u64, c);
+        image_docs.push(Document {
+            id: i as u32,
+            url: format!("https://commons.example.org/wiki/File:{}.jpg", c.replace(' ', "_")),
+            text: c.clone(),
+            topic: 0,
+        });
+        latents.push(img.latent);
+    }
+    let image_corpus = Corpus { docs: image_docs, queries: Vec::new() };
+    let mut img_config = TiptoeConfig::test_small(captions.len(), 96);
+    img_config.d_embed = 96;
+    img_config.d_reduced = 48;
+    let img_instance =
+        TiptoeInstance::build_with_embeddings(&img_config, &clip, &image_corpus, latents);
+    let mut img_client = img_instance.new_client(2);
+    let image_queries = [
+        BenchmarkQuery { text: "a train next to a station".into(), relevant: 0 },
+        BenchmarkQuery { text: "a small dog wearing a life jacket".into(), relevant: 6 },
+        BenchmarkQuery { text: "two boats at the dock".into(), relevant: 24 },
+    ];
+    for q in &image_queries {
+        let results = img_client.search(&img_instance, &q.text, 3);
+        println!("Q: {}", q.text);
+        for (i, hit) in results.hits.iter().enumerate() {
+            let mark = if hit.doc == q.relevant { "  <- the captioned image" } else { "" };
+            println!("  {}. {}{}", i + 1, hit.url, mark);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Reproduces **Tables 11 and 12** (Appendix C): the LWE plaintext
+//! modulus `p` as a function of the upload dimension `m`, for the URL
+//! modulus `q = 2^32` and the ranking modulus `q = 2^64`.
+//!
+//! ```text
+//! cargo run --release -p tiptoe-bench --bin table11_12_params
+//! ```
+
+use tiptoe_lwe::params::{computed_p, floor_pow2, TABLE_11, TABLE_12};
+
+fn main() {
+    println!("== Table 11: q = 2^32 (URL retrieval step) ==");
+    println!("{:<10} {:>6} {:>8} {:>10} {:>10} {:>8}", "upload m", "n", "sigma", "paper p", "ours p", "Δ%");
+    for row in &TABLE_11 {
+        let ours = computed_p(row, 32);
+        let delta = 100.0 * (ours as f64 - row.paper_p as f64) / row.paper_p as f64;
+        println!(
+            "2^{:<8} {:>6} {:>8} {:>10} {:>10} {:>7.2}%",
+            row.log_m, row.n, row.sigma, row.paper_p, ours, delta
+        );
+    }
+
+    println!("\n== Table 12: q = 2^64 (ranking step; paper rounds p down to a power of two) ==");
+    println!("{:<10} {:>6} {:>8} {:>10} {:>10}", "upload m", "n", "sigma", "paper p", "ours p");
+    for row in &TABLE_12 {
+        let ours = floor_pow2(computed_p(row, 64));
+        println!(
+            "2^{:<8} {:>6} {:>8} 2^{:<8} 2^{:<8}",
+            row.log_m,
+            row.n,
+            row.sigma,
+            row.paper_p.trailing_zeros(),
+            ours.trailing_zeros()
+        );
+    }
+    println!("\nFormula: p = sqrt(q / (z·σ·√m)) with z = 7.55 (2^-40 Gaussian tail);");
+    println!("see crates/lwe/src/params.rs and EXPERIMENTS.md for the derivation.");
+}

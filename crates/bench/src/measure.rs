@@ -1,0 +1,170 @@
+//! Measured-deployment harness shared by the Table 6 and Table 7
+//! binaries: brings up a deployment with the paper's *production*
+//! cryptographic parameters at a scaled-down corpus, runs measured
+//! queries through the full private pipeline, and calibrates the
+//! analytic extrapolation to web scale.
+
+use std::time::Duration;
+
+use tiptoe_core::analysis::ScalingModel;
+use tiptoe_core::client::QueryCost;
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, Corpus, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_embed::Embedder;
+
+/// Everything the table binaries report about one deployment.
+pub struct Measurement {
+    /// Documents indexed.
+    pub docs: usize,
+    /// Reduced embedding dimension.
+    pub d: usize,
+    /// Clusters.
+    pub clusters: usize,
+    /// Padded cluster size (scores per query).
+    pub rows: usize,
+    /// Mean per-query cost over the measured queries.
+    pub cost: QueryCost,
+    /// Batch-job stage timings.
+    pub report: tiptoe_core::batch::IndexingReport,
+    /// Client one-time setup download.
+    pub setup_bytes: u64,
+    /// Centroid + metadata download (excluding the model).
+    pub centroid_bytes: u64,
+    /// PCA projection download.
+    pub pca_bytes: u64,
+    /// Embedding-model download (simulated size).
+    pub model_bytes: u64,
+    /// Server-side index state.
+    pub server_bytes: u64,
+    /// Calibrated 64-bit MAC throughput (word-ops/core-second),
+    /// derived from the measured ranking answers.
+    pub ops_per_core_second: f64,
+    /// Measured client-side-index bytes per document (4-bit
+    /// embeddings plus compressed URLs), for the Table 6 "client-side
+    /// Tiptoe index" row.
+    pub index_bytes_per_doc: f64,
+}
+
+impl Measurement {
+    /// The web-scale extrapolation model calibrated from this run.
+    pub fn scaling_model(&self) -> ScalingModel {
+        ScalingModel {
+            d: self.d,
+            ops_per_core_second: self.ops_per_core_second,
+            url_bytes: 22.0,
+            n_lwe: 2048,
+        }
+    }
+}
+
+fn average_costs(costs: &[QueryCost]) -> QueryCost {
+    let n = costs.len().max(1) as u32;
+    let avg_d = |f: fn(&QueryCost) -> Duration| {
+        costs.iter().map(f).sum::<Duration>() / n
+    };
+    let avg_b = |f: fn(&QueryCost) -> u64| costs.iter().map(f).sum::<u64>() / n as u64;
+    let avg_t = |w: fn(&QueryCost) -> Duration, c: fn(&QueryCost) -> Duration| {
+        tiptoe_net::ParallelTiming { wall: avg_d(w), cpu: avg_d(c) }
+    };
+    QueryCost {
+        token_up: avg_b(|c| c.token_up),
+        token_down: avg_b(|c| c.token_down),
+        rank_up: avg_b(|c| c.rank_up),
+        rank_down: avg_b(|c| c.rank_down),
+        url_up: avg_b(|c| c.url_up),
+        url_down: avg_b(|c| c.url_down),
+        token_server: avg_t(|c| c.token_server.wall, |c| c.token_server.cpu),
+        rank_server: avg_t(|c| c.rank_server.wall, |c| c.rank_server.cpu),
+        url_server: avg_t(|c| c.url_server.wall, |c| c.url_server.cpu),
+        client_time: avg_d(|c| c.client_time),
+        client_preproc: avg_d(|c| c.client_preproc),
+    }
+}
+
+/// Builds a text deployment with production crypto at `docs` scale and
+/// measures `queries` full private searches.
+pub fn measure_text_deployment(docs: usize, queries: usize, seed: u64) -> Measurement {
+    let corpus = generate(&CorpusConfig::small(docs, seed), queries.max(1));
+    let config = TiptoeConfig::text(docs, seed);
+    let embedder = TextEmbedder::paper_text(seed);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    measure_instance(docs, &corpus, instance, queries)
+}
+
+/// Builds an image deployment (CLIP-like 512-d latents, production
+/// crypto with `p = 2^15`, PCA to 384) and measures it — the Table 6/7
+/// image column.
+pub fn measure_image_deployment(docs: usize, queries: usize, seed: u64) -> Measurement {
+    use tiptoe_embed::clip::ClipLikeEmbedder;
+    let clip = ClipLikeEmbedder::paper_image(seed);
+    // Captions drive both the latents and the benchmark queries.
+    let text_corpus = generate(&CorpusConfig::small(docs, seed), queries.max(1));
+    let mut latents = Vec::with_capacity(docs);
+    let mut image_docs = Vec::with_capacity(docs);
+    for d in &text_corpus.docs {
+        let caption: String = d.text.split(' ').take(12).collect::<Vec<_>>().join(" ");
+        let img = clip.embed_image(d.id as u64, &caption);
+        latents.push(img.latent);
+        image_docs.push(tiptoe_corpus::synth::Document {
+            id: d.id,
+            url: format!("https://images.example.org/{}.jpg", d.id),
+            text: caption,
+            topic: d.topic,
+        });
+    }
+    let corpus = Corpus { docs: image_docs, queries: text_corpus.queries };
+    let config = TiptoeConfig::image(docs, seed);
+    let instance = TiptoeInstance::build_with_embeddings(&config, clip, &corpus, latents);
+    measure_instance(docs, &corpus, instance, queries)
+}
+
+fn measure_instance<E: Embedder + Send + Sync>(
+    docs: usize,
+    corpus: &Corpus,
+    instance: TiptoeInstance<E>,
+    queries: usize,
+) -> Measurement {
+    let mut client = instance.new_client(1);
+    let mut costs = Vec::new();
+    for q in corpus.queries.iter().take(queries.max(1)) {
+        let results = client.search(&instance, &q.text, 100);
+        costs.push(results.cost);
+    }
+    let cost = average_costs(&costs);
+
+    // Calibrate word-op throughput from the measured ranking scans:
+    // each answer performs 2 ops per matrix entry.
+    let matrix_entries = instance.artifacts.rank_matrix.len() as f64;
+    let rank_cpu = cost.rank_server.cpu.as_secs_f64().max(1e-9);
+    let ops_per_core_second = 2.0 * matrix_entries / rank_cpu;
+
+    // Client-side-index baseline: the same data a client would store
+    // locally — 4-bit quantized embeddings plus the compressed URLs.
+    let embedding_bytes = instance.artifacts.order.len() as f64 * meta_d(&instance) as f64 / 2.0;
+    let url_bytes: usize =
+        instance.artifacts.url_batches.iter().map(|b| b.compressed.len()).sum();
+    let index_bytes_per_doc = (embedding_bytes + url_bytes as f64) / docs as f64;
+
+    let meta = &instance.artifacts.meta;
+    Measurement {
+        docs,
+        d: meta.d,
+        clusters: meta.c,
+        rows: meta.rows,
+        cost,
+        report: instance.artifacts.report.clone(),
+        setup_bytes: client.setup_bytes,
+        centroid_bytes: meta.centroid_bytes,
+        pca_bytes: meta.pca_bytes,
+        model_bytes: meta.model_bytes,
+        server_bytes: instance.server_storage_bytes(),
+        ops_per_core_second,
+        index_bytes_per_doc,
+    }
+}
+
+fn meta_d<E: Embedder>(instance: &TiptoeInstance<E>) -> usize {
+    instance.artifacts.meta.d
+}

@@ -1,0 +1,139 @@
+//! `tiptoe` — a command-line demonstration of private web search.
+//!
+//! ```text
+//! tiptoe demo [NUM_DOCS]            # synthetic corpus + interactive search
+//! tiptoe index FILE [QUERY...]      # index a file of documents, run queries
+//! ```
+//!
+//! In `index` mode, `FILE` holds one document per line, either
+//! `url<TAB>text` or just `text` (URLs are synthesized). Every query
+//! runs through the full private pipeline: the services only ever see
+//! lattice ciphertexts.
+
+use std::io::{BufRead, Write};
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, Corpus, CorpusConfig, Document};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_math::stats::{fmt_bytes, fmt_seconds};
+use tiptoe_net::LinkModel;
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  tiptoe demo [NUM_DOCS]        synthetic corpus, interactive prompt");
+    eprintln!("  tiptoe index FILE [QUERY...]  index 'url<TAB>text' lines, run queries");
+    std::process::exit(2);
+}
+
+fn load_file(path: &str) -> Corpus {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("tiptoe: cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut docs = Vec::new();
+    for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_default();
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (url, text) = match line.split_once('\t') {
+            Some((u, t)) => (u.to_owned(), t.to_owned()),
+            None => (format!("file://{path}#L{}", i + 1), line.to_owned()),
+        };
+        docs.push(Document { id: docs.len() as u32, url, text, topic: 0 });
+    }
+    if docs.is_empty() {
+        eprintln!("tiptoe: {path} holds no documents");
+        std::process::exit(1);
+    }
+    Corpus { docs, queries: Vec::new() }
+}
+
+fn run_queries<I>(instance: &TiptoeInstance<TextEmbedder>, queries: I)
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut client = instance.new_client(1);
+    let link = LinkModel::paper();
+    for query in queries {
+        let query = query.trim().to_owned();
+        if query.is_empty() || query == "quit" || query == "exit" {
+            if query.is_empty() {
+                continue;
+            }
+            break;
+        }
+        let results = client.search(instance, &query, 10);
+        println!("Q: {query}");
+        if results.hits.is_empty() {
+            println!("  (no results)");
+        }
+        for (i, hit) in results.hits.iter().enumerate() {
+            println!("  {:>2}. {}  ({:.3})", i + 1, hit.url, hit.score);
+        }
+        let c = &results.cost;
+        println!(
+            "  [{} online, {} offline, ~{} perceived; the servers saw only ciphertexts]\n",
+            fmt_bytes(c.online_bytes()),
+            fmt_bytes(c.offline_bytes()),
+            fmt_seconds(c.perceived_latency(&link).as_secs_f64()),
+        );
+    }
+}
+
+fn interactive(instance: &TiptoeInstance<TextEmbedder>) {
+    println!("type a query (empty line or 'quit' to exit):");
+    let stdin = std::io::stdin();
+    let mut lines = Vec::new();
+    loop {
+        print!("tiptoe> ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim().to_owned();
+        if line.is_empty() || line == "quit" || line == "exit" {
+            break;
+        }
+        lines.push(line);
+        // Run one at a time so the prompt stays responsive.
+        run_queries(instance, lines.drain(..));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (corpus, label) = match args.first().map(String::as_str) {
+        Some("demo") => {
+            let n: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2000);
+            (generate(&CorpusConfig::small(n, 7), 0), format!("{n} synthetic documents"))
+        }
+        Some("index") => {
+            let Some(path) = args.get(1) else { usage() };
+            (load_file(path), format!("documents from {path}"))
+        }
+        _ => usage(),
+    };
+
+    println!("tiptoe: indexing {label} ...");
+    let config = TiptoeConfig::test_small(corpus.docs.len(), 7);
+    let embedder = TextEmbedder::new(config.d_embed, 7, 0);
+    let t0 = std::time::Instant::now();
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    println!(
+        "tiptoe: ready in {} ({} clusters, {} server state)\n",
+        fmt_seconds(t0.elapsed().as_secs_f64()),
+        instance.artifacts.meta.c,
+        fmt_bytes(instance.server_storage_bytes()),
+    );
+
+    match args.first().map(String::as_str) {
+        Some("index") if args.len() > 2 => {
+            run_queries(&instance, args[2..].iter().cloned());
+        }
+        _ => interactive(&instance),
+    }
+}

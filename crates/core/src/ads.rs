@@ -1,0 +1,258 @@
+//! Private advertising (paper §9, "Private advertising").
+//!
+//! "Just as a client uses Tiptoe to fetch relevant webpages, a client
+//! could use Tiptoe to fetch relevant textual ads. The search provider
+//! could embed each ad using an embedding function. The client would
+//! then use Tiptoe to identify the ads most relevant to its query —
+//! instead of privately fetching a URL in the last protocol step, the
+//! client would privately fetch the text of the ad."
+//!
+//! This module is exactly that pipeline: ads are embedded and
+//! clustered into a Figure 3 matrix served by the private ranking
+//! protocol, and the *ad creative text* (rather than a URL batch) is
+//! the PIR record fetched in the last step. The ad network learns
+//! neither the query nor which ad was shown — its privacy holds until
+//! the user clicks (as the paper notes).
+
+use rand::Rng;
+use tiptoe_cluster::{cluster_documents, Clustering};
+use tiptoe_embed::vector::normalize;
+use tiptoe_math::matrix::Mat;
+use tiptoe_math::rng::derive_seed;
+use tiptoe_pir::{PirClient, PirDatabase, PirServer};
+use tiptoe_underhood::{ClientKey, EncryptedSecret, Underhood};
+
+use crate::config::TiptoeConfig;
+use crate::ranking::RankingService;
+
+/// One advertisement.
+#[derive(Debug, Clone)]
+pub struct Ad {
+    /// Campaign identifier.
+    pub id: u32,
+    /// The creative text shown to the user.
+    pub creative: String,
+    /// The ad's embedding in the same space as search queries.
+    pub embedding: Vec<f32>,
+}
+
+/// The private ad service: a ranking matrix over ad embeddings plus a
+/// PIR store of creatives, grouped by cluster like URL batches.
+pub struct AdService {
+    ranking: RankingService,
+    creatives: PirServer,
+    clustering: Clustering,
+    config: TiptoeConfig,
+    /// `record_of[cluster][row]` = PIR record index of that ad slot.
+    ads_per_record: usize,
+    record_start: Vec<u32>,
+    ids_by_slot: Vec<Vec<u32>>,
+}
+
+impl AdService {
+    /// Builds the service over an ad inventory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inventory is empty or embedding dimensions differ
+    /// from `config.d_reduced`.
+    pub fn build(config: &TiptoeConfig, mut ads: Vec<Ad>, ads_per_record: usize) -> Self {
+        assert!(!ads.is_empty(), "empty ad inventory");
+        let d = config.d_reduced;
+        assert!(ads.iter().all(|a| a.embedding.len() == d), "ad embedding dimension mismatch");
+        for ad in ads.iter_mut() {
+            normalize(&mut ad.embedding);
+        }
+        let embeddings: Vec<Vec<f32>> = ads.iter().map(|a| a.embedding.clone()).collect();
+        let clustering = cluster_documents(&embeddings, &config.cluster);
+
+        // Ranking matrix over ad embeddings (Figure 3 layout).
+        let quant = config.quantizer();
+        let c = clustering.num_clusters();
+        let rows = clustering.max_cluster_size();
+        let mut matrix: Mat<u32> = Mat::zeros(rows, d * c);
+        for (ci, members) in clustering.members.iter().enumerate() {
+            for (row, &ad) in members.iter().enumerate() {
+                let q = quant.to_zp(&ads[ad as usize].embedding);
+                matrix.row_mut(row)[ci * d..ci * d + d].copy_from_slice(&q);
+            }
+        }
+        let ranking = RankingService::from_matrix(config, &matrix);
+
+        // Creative store: records of `ads_per_record` creatives in
+        // cluster-major slot order ("id\tcreative" lines).
+        let ads_per_record = ads_per_record.max(1);
+        let mut records = Vec::new();
+        let mut record_start = Vec::with_capacity(c);
+        let mut ids_by_slot = Vec::with_capacity(c);
+        for members in &clustering.members {
+            record_start.push(records.len() as u32);
+            ids_by_slot.push(members.iter().map(|&m| ads[m as usize].id).collect());
+            for chunk in members.chunks(ads_per_record) {
+                let blob: String = chunk
+                    .iter()
+                    .map(|&m| format!("{}\t{}", ads[m as usize].id, ads[m as usize].creative))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                records.push(blob.into_bytes());
+            }
+        }
+        let uh = Underhood::with_outer(config.url_lwe, config.rlwe, config.switch_log_q2);
+        let db = PirDatabase::build_with_params(&records, config.url_lwe);
+        let creatives = PirServer::new(db, derive_seed(config.seed, 0xad5), uh);
+
+        Self {
+            ranking,
+            creatives,
+            clustering,
+            config: config.clone(),
+            ads_per_record,
+            record_start,
+            ids_by_slot,
+        }
+    }
+
+    /// The ranking service (clients share tokens with it).
+    pub fn ranking(&self) -> &RankingService {
+        &self.ranking
+    }
+
+    /// The creative PIR store's composed-scheme parameters.
+    pub fn creative_underhood(&self) -> &Underhood {
+        self.creatives.underhood()
+    }
+
+    /// Privately fetches the `(id, creative)` of the ad most relevant
+    /// to a (reduced, normalized) query embedding. The service sees
+    /// only ciphertexts in both steps.
+    pub fn fetch_relevant_ad<R: Rng + ?Sized>(
+        &self,
+        key: &ClientKey,
+        query_reduced: &[f32],
+        rng: &mut R,
+    ) -> Option<(u32, String)> {
+        let d = self.config.d_reduced;
+        assert_eq!(query_reduced.len(), d, "query dimension mismatch");
+        let mut q = query_reduced.to_vec();
+        normalize(&mut q);
+        let cluster = self.clustering.nearest_centroid(&q);
+
+        // Private ranking over the ad inventory.
+        let uh = self.ranking.underhood();
+        let es = EncryptedSecret::encrypt(uh, key, rng);
+        let expanded = es.expand(uh);
+        let (rank_token, _) = self.ranking.generate_token_expanded(&expanded);
+        let mut rank_decoded = uh.decode_token::<u64>(key, &rank_token);
+        let quant = self.config.quantizer();
+        let q_zp = quant.to_zp(&q);
+        let mut v = vec![0u64; self.ranking.upload_dim()];
+        for (j, &x) in q_zp.iter().enumerate() {
+            v[cluster * d + j] = x as u64;
+        }
+        let ct = uh.encrypt_query::<u64, _>(key, &self.ranking.public_matrix(), &v, rng);
+        let (applied, _) = self.ranking.answer(&ct);
+        let raw = uh.decrypt(&mut rank_decoded, &applied);
+        let members = self.ids_by_slot[cluster].len();
+        let best_row = raw
+            .iter()
+            .take(members)
+            .enumerate()
+            .max_by_key(|(_, &s)| quant.encoder().decode_signed(s))
+            .map(|(i, _)| i)?;
+
+        // Private creative fetch.
+        let record = self.record_start[cluster] as usize + best_row / self.ads_per_record;
+        let uh_url = self.creatives.underhood();
+        let es2 = EncryptedSecret::encrypt(uh_url, key, rng);
+        let token = self.creatives.generate_token(&es2);
+        let pir = PirClient::new(uh_url, key);
+        let mut decoded = pir.decode_token(&token);
+        let pir_ct = pir.query(
+            &self.creatives.public_matrix(),
+            self.creatives.database().num_records(),
+            record,
+            rng,
+        );
+        let answer = self.creatives.answer(&pir_ct);
+        let payload = pir.recover(self.creatives.database(), &mut decoded, &answer);
+        let text = String::from_utf8_lossy(&payload);
+        let want_id = self.ids_by_slot[cluster][best_row];
+        text.lines().find_map(|line| {
+            let (id, creative) = line.split_once('\t')?;
+            let id: u32 = id.parse().ok()?;
+            (id == want_id).then(|| (id, creative.trim_end_matches('\0').to_owned()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn inventory(config: &TiptoeConfig) -> Vec<Ad> {
+        let mut rng = seeded_rng(5);
+        let themes =
+            ["running shoes", "tax software", "garden tools", "noise-cancelling headphones"];
+        (0..120)
+            .map(|i| {
+                let theme = i % themes.len();
+                let mut e: Vec<f32> = (0..config.d_reduced)
+                    .map(|j| {
+                        // Theme anchor plus noise: a crude embedding
+                        // with clear cluster structure.
+                        let anchor = ((theme * 31 + j * 7) % 13) as f32 / 13.0 - 0.5;
+                        anchor + rng.gen_range(-0.15f32..0.15)
+                    })
+                    .collect();
+                normalize(&mut e);
+                Ad {
+                    id: i as u32,
+                    creative: format!("Buy {} today! (campaign {})", themes[theme], i),
+                    embedding: e,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn relevant_ad_is_fetched_privately() {
+        let config = TiptoeConfig::test_small(120, 55);
+        let ads = inventory(&config);
+        let service = AdService::build(&config, ads.clone(), 8);
+        let mut rng = seeded_rng(6);
+        let key = ClientKey::generate(
+            service.ranking().underhood(),
+            config.rank_lwe.n.max(config.url_lwe.n),
+            &mut rng,
+        );
+
+        // A query near ad #2's embedding should retrieve an ad of the
+        // same theme.
+        let probe = &ads[2];
+        let (id, creative) = service
+            .fetch_relevant_ad(&key, &probe.embedding, &mut rng)
+            .expect("an ad should be found");
+        assert!(creative.contains("Buy"), "creative: {creative}");
+        // Same theme as the probe (ids congruent mod 4).
+        assert_eq!(id % 4, 2, "fetched ad {id} from the wrong theme: {creative}");
+    }
+
+    #[test]
+    fn creative_roundtrips_exactly() {
+        let config = TiptoeConfig::test_small(120, 56);
+        let ads = inventory(&config);
+        let service = AdService::build(&config, ads.clone(), 4);
+        let mut rng = seeded_rng(7);
+        let key = ClientKey::generate(
+            service.ranking().underhood(),
+            config.rank_lwe.n.max(config.url_lwe.n),
+            &mut rng,
+        );
+        let (id, creative) = service
+            .fetch_relevant_ad(&key, &ads[10].embedding, &mut rng)
+            .expect("found");
+        let original = ads.iter().find(|a| a.id == id).expect("inventory has the id");
+        assert_eq!(creative, original.creative);
+    }
+}

@@ -1,0 +1,185 @@
+//! Deployment configuration: the knobs of §7, §8.1, and Appendix C.
+
+use tiptoe_cluster::ClusterConfig;
+use tiptoe_embed::quantize::Quantizer;
+use tiptoe_lwe::LweParams;
+use tiptoe_rlwe::RlweParams;
+
+/// All parameters of a Tiptoe deployment.
+#[derive(Debug, Clone)]
+pub struct TiptoeConfig {
+    /// Raw embedding dimension (768 text / 512 image).
+    pub d_embed: usize,
+    /// Post-PCA dimension (192 text / 384 image, §7).
+    pub d_reduced: usize,
+    /// Quantization precision bits (3 = signed 4-bit, §8.6).
+    pub quant_bits: u32,
+    /// Inner LWE parameters for the ranking service (Appendix C).
+    pub rank_lwe: LweParams,
+    /// Inner LWE parameters for the URL service (Appendix C).
+    pub url_lwe: LweParams,
+    /// Outer RLWE parameters shared by both services (§6.2).
+    pub rlwe: RlweParams,
+    /// Modulus-switch target for token downloads.
+    pub switch_log_q2: u32,
+    /// Clustering configuration (§7).
+    pub cluster: ClusterConfig,
+    /// URLs per compressed batch (§5 uses ≈880).
+    pub urls_per_batch: usize,
+    /// Number of ranking-service worker shards (§4.3; the paper's
+    /// text deployment uses 40).
+    pub num_shards: usize,
+    /// Documents sampled for the PCA fit.
+    pub pca_sample: usize,
+    /// Store ranking shards as packed signed 4-bit nibbles (8× less
+    /// memory and scan bandwidth; requires a power-of-two plaintext
+    /// modulus so the signed embedding stays congruent mod `p`).
+    pub pack_ranking_db: bool,
+    /// Master seed (all internal randomness derives from it).
+    pub seed: u64,
+}
+
+impl TiptoeConfig {
+    /// Paper-faithful text-search parameters, scaled to `num_docs`.
+    ///
+    /// Uses `n = 2048 / q = 2^64 / p = 2^17 / σ = 81920` for ranking
+    /// and the Table 11 rule for the URL service; clusters of size
+    /// ≈ √N; PCA 768 → 192.
+    pub fn text(num_docs: usize, seed: u64) -> Self {
+        Self {
+            d_embed: 768,
+            d_reduced: 192,
+            quant_bits: 3,
+            rank_lwe: LweParams::ranking_text(),
+            url_lwe: LweParams::url(991),
+            rlwe: RlweParams::production(),
+            switch_log_q2: 44,
+            cluster: ClusterConfig::for_corpus(num_docs, seed),
+            urls_per_batch: 880,
+            num_shards: 4,
+            pca_sample: 2048.min(num_docs),
+            pack_ranking_db: false,
+            seed,
+        }
+    }
+
+    /// Paper-faithful image-search parameters (512 → 384 dims,
+    /// `p = 2^15`).
+    pub fn image(num_docs: usize, seed: u64) -> Self {
+        Self {
+            d_embed: 512,
+            d_reduced: 384,
+            quant_bits: 3,
+            rank_lwe: LweParams::ranking_image(),
+            url_lwe: LweParams::url(991),
+            rlwe: RlweParams::production(),
+            switch_log_q2: 44,
+            cluster: ClusterConfig::for_corpus(num_docs, seed),
+            urls_per_batch: 880,
+            num_shards: 8,
+            pca_sample: 2048.min(num_docs),
+            pack_ranking_db: false,
+            seed,
+        }
+    }
+
+    /// Fast parameters for unit tests: full protocol structure with
+    /// small (insecure) lattice dimensions and small embeddings.
+    pub fn test_small(num_docs: usize, seed: u64) -> Self {
+        let target = ((num_docs as f64).sqrt().round() as usize).clamp(8, 64);
+        Self {
+            d_embed: 96,
+            d_reduced: 32,
+            quant_bits: 3,
+            rank_lwe: LweParams::insecure_test(64, 1 << 17, 81920.0),
+            url_lwe: LweParams::insecure_test(32, 991, 6.4),
+            rlwe: RlweParams { degree: 64, q_bits: 58, t: 1 << 24, sigma: 3.2 },
+            switch_log_q2: 44,
+            cluster: ClusterConfig {
+                target_size: target,
+                split_factor: 1.5,
+                dual_assign_frac: 0.2,
+                kmeans_sample: 1024.min(num_docs),
+                kmeans_iters: 8,
+                seed,
+            },
+            urls_per_batch: 16,
+            num_shards: 2,
+            pca_sample: 512.min(num_docs),
+            pack_ranking_db: false,
+            seed,
+        }
+    }
+
+    /// The ranking-side quantizer.
+    pub fn quantizer(&self) -> Quantizer {
+        Quantizer::new(self.quant_bits, self.rank_lwe.p)
+    }
+
+    /// Checks cross-parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantizer cannot host `d_reduced`-dimensional
+    /// inner products, or the services disagree on outer parameters.
+    pub fn validate(&self) {
+        self.rank_lwe.validate();
+        self.url_lwe.validate();
+        assert!(self.d_reduced <= self.d_embed, "PCA cannot increase dimension");
+        let quant = self.quantizer();
+        assert!(
+            quant.encoder().max_dimension() >= self.d_reduced
+                || quant.encoder().supports_normalized(self.d_reduced),
+            "quantizer cannot host d = {} inner products",
+            self.d_reduced
+        );
+        assert!(self.num_shards >= 1, "need at least one shard");
+        assert!(self.urls_per_batch >= 1, "need at least one URL per batch");
+        if self.pack_ranking_db {
+            assert!(
+                self.rank_lwe.p.is_power_of_two(),
+                "packed storage needs a power-of-two ranking modulus"
+            );
+            assert!(self.quant_bits <= 3, "packed storage holds signed 4-bit entries");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TiptoeConfig::text(100_000, 1).validate();
+        TiptoeConfig::image(100_000, 1).validate();
+        TiptoeConfig::test_small(500, 1).validate();
+    }
+
+    #[test]
+    fn text_preset_matches_paper_appendix_c() {
+        let c = TiptoeConfig::text(1 << 20, 0);
+        assert_eq!(c.rank_lwe.n, 2048);
+        assert_eq!(c.rank_lwe.log_q, 64);
+        assert_eq!(c.rank_lwe.p, 1 << 17);
+        assert_eq!(c.url_lwe.n, 1408);
+        assert_eq!(c.url_lwe.log_q, 32);
+        assert_eq!(c.d_embed, 768);
+        assert_eq!(c.d_reduced, 192);
+        assert_eq!(c.urls_per_batch, 880);
+    }
+
+    #[test]
+    fn image_preset_uses_wider_reduced_dimension() {
+        let c = TiptoeConfig::image(1 << 20, 0);
+        assert_eq!(c.d_embed, 512);
+        assert_eq!(c.d_reduced, 384);
+        assert_eq!(c.rank_lwe.p, 1 << 15);
+    }
+
+    #[test]
+    fn cluster_target_scales_with_sqrt_n() {
+        let c = TiptoeConfig::text(1 << 20, 0);
+        assert_eq!(c.cluster.target_size, 1 << 10);
+    }
+}

@@ -1,0 +1,253 @@
+//! Private search over *encrypted* documents (paper §9, "Private
+//! search on encrypted data").
+//!
+//! Here the corpus itself is the client's secret: "the client
+//! processes the corpus … embeds each document, clusters the
+//! embeddings, and stores the centroids locally. Instead of storing
+//! the plaintext embeddings and URLs on the Tiptoe servers, the client
+//! encrypts the embeddings and URLs and stores the encrypted search
+//! data structures on the Tiptoe servers."
+//!
+//! The paper sketches ranking under a degree-two homomorphic scheme.
+//! We implement the same end state — the server learns nothing about
+//! the query *or* the corpus beyond its total size — with a
+//! construction our stack supports exactly (documented as a deviation
+//! in `DESIGN.md` §2): per-cluster *encrypted blobs* (embeddings +
+//! URLs under a client-keyed stream cipher) served by PIR. The client
+//! picks its cluster locally from its cached centroids, privately
+//! fetches that cluster's blob, decrypts, and ranks locally. Both the
+//! access pattern (PIR) and the content (client-side encryption) are
+//! hidden; the download is one cluster (`O(√N·d)`), the same
+//! asymptotics as Tiptoe's ranking download.
+
+use rand::Rng;
+use tiptoe_cluster::cluster_documents;
+use tiptoe_embed::quantize::Quantizer;
+use tiptoe_embed::vector::{dot, normalize};
+use tiptoe_math::rng::{derive_seed, seeded_rng};
+use tiptoe_pir::{PirClient, PirDatabase, PirServer};
+use tiptoe_underhood::{ClientKey, EncryptedSecret, Underhood};
+
+use crate::config::TiptoeConfig;
+
+/// XORs `data` with the ChaCha keystream for `(key, record)`. The
+/// per-record nonce (the record index) keeps streams independent.
+fn stream_cipher(key: u64, record: u64, data: &mut [u8]) {
+    let mut rng = seeded_rng(derive_seed(key, record ^ 0x5ec2e7));
+    for b in data.iter_mut() {
+        *b ^= rng.gen::<u8>();
+    }
+}
+
+/// One plaintext document of the client's private corpus.
+#[derive(Debug, Clone)]
+pub struct PrivateDoc {
+    /// Client-assigned identifier.
+    pub id: u32,
+    /// Metadata revealed to the client on retrieval (e.g. a URL or
+    /// file path).
+    pub url: String,
+    /// Document embedding.
+    pub embedding: Vec<f32>,
+}
+
+/// The client-side index state (kept by the data owner).
+pub struct EncryptedIndexKey {
+    cipher_key: u64,
+    centroids: Vec<Vec<f32>>,
+    quant: Quantizer,
+    d: usize,
+}
+
+/// The server-side state: PIR over opaque encrypted cluster blobs.
+pub struct EncryptedIndexServer {
+    server: PirServer,
+}
+
+/// Builds the encrypted index: the *client* clusters its documents,
+/// serializes each cluster (quantized embeddings + URLs), encrypts
+/// each blob, and ships the ciphertexts to the server.
+///
+/// Returns the client key material and the server state.
+///
+/// # Panics
+///
+/// Panics if `docs` is empty or dimensions are inconsistent with the
+/// configuration.
+pub fn build_encrypted_index(
+    config: &TiptoeConfig,
+    docs: &[PrivateDoc],
+    cipher_key: u64,
+) -> (EncryptedIndexKey, EncryptedIndexServer) {
+    assert!(!docs.is_empty(), "empty corpus");
+    let d = config.d_reduced;
+    assert!(docs.iter().all(|doc| doc.embedding.len() == d), "dimension mismatch");
+    let mut embeddings: Vec<Vec<f32>> = docs.iter().map(|doc| doc.embedding.clone()).collect();
+    for e in embeddings.iter_mut() {
+        normalize(e);
+    }
+    let clustering = cluster_documents(&embeddings, &config.cluster);
+    let quant = config.quantizer();
+
+    // Serialize each cluster: lines of "<id>\t<url>\t<q0,q1,...>".
+    let mut records: Vec<Vec<u8>> = Vec::with_capacity(clustering.num_clusters());
+    for members in &clustering.members {
+        let mut blob = String::new();
+        for &m in members {
+            let doc = &docs[m as usize];
+            let q = quant.to_signed(&embeddings[m as usize]);
+            let q_str: Vec<String> = q.iter().map(i64::to_string).collect();
+            blob.push_str(&format!("{}\t{}\t{}\n", doc.id, doc.url, q_str.join(",")));
+        }
+        let mut bytes = tiptoe_corpus::tzip::compress(blob.as_bytes());
+        stream_cipher(cipher_key, records.len() as u64, &mut bytes);
+        records.push(bytes);
+    }
+
+    let uh = Underhood::with_outer(config.url_lwe, config.rlwe, config.switch_log_q2);
+    let db = PirDatabase::build_with_params(&records, config.url_lwe);
+    let server = PirServer::new(db, derive_seed(config.seed, 0xe7c), uh);
+
+    (
+        EncryptedIndexKey { cipher_key, centroids: clustering.centroids.clone(), quant, d },
+        EncryptedIndexServer { server },
+    )
+}
+
+impl EncryptedIndexServer {
+    /// The composed-scheme parameters.
+    pub fn underhood(&self) -> &Underhood {
+        self.server.underhood()
+    }
+
+    /// Server-side storage (all ciphertext).
+    pub fn storage_bytes(&self) -> u64 {
+        self.server.database().storage_bytes()
+    }
+}
+
+/// Privately searches the encrypted corpus: selects the cluster
+/// locally, PIR-fetches its encrypted blob, decrypts, and ranks by
+/// inner product. Returns `(id, url, score)`, best first.
+pub fn search_encrypted<R: Rng + ?Sized>(
+    index_key: &EncryptedIndexKey,
+    server: &EncryptedIndexServer,
+    client_key: &ClientKey,
+    query_embedding: &[f32],
+    k: usize,
+    rng: &mut R,
+) -> Vec<(u32, String, f32)> {
+    assert_eq!(query_embedding.len(), index_key.d, "query dimension mismatch");
+    let mut q = query_embedding.to_vec();
+    normalize(&mut q);
+    let cluster = index_key
+        .centroids
+        .iter()
+        .enumerate()
+        .max_by(|a, b| dot(a.1, &q).partial_cmp(&dot(b.1, &q)).expect("no NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let uh = server.underhood();
+    let es = EncryptedSecret::encrypt(uh, client_key, rng);
+    let token = server.server.generate_token(&es);
+    let pir = PirClient::new(uh, client_key);
+    let mut decoded = pir.decode_token(&token);
+    let ct = pir.query(
+        &server.server.public_matrix(),
+        server.server.database().num_records(),
+        cluster,
+        rng,
+    );
+    let answer = server.server.answer(&ct);
+    let mut record = pir.recover(server.server.database(), &mut decoded, &answer);
+
+    stream_cipher(index_key.cipher_key, cluster as u64, &mut record);
+    let Ok(raw) = tiptoe_corpus::tzip::decompress(&record) else {
+        return Vec::new();
+    };
+    let text = String::from_utf8_lossy(&raw);
+    let q_signed = index_key.quant.to_signed(&q);
+    let scale2 = (index_key.quant.encoder().scale() * index_key.quant.encoder().scale()) as f32;
+    let mut hits: Vec<(u32, String, f32)> = text
+        .lines()
+        .filter_map(|line| {
+            let mut parts = line.splitn(3, '\t');
+            let id: u32 = parts.next()?.parse().ok()?;
+            let url = parts.next()?.to_owned();
+            let emb: Vec<i64> =
+                parts.next()?.split(',').filter_map(|x| x.parse().ok()).collect();
+            let score: i64 = emb.iter().zip(q_signed.iter()).map(|(&a, &b)| a * b).sum();
+            Some((id, url, score as f32 / scale2))
+        })
+        .collect();
+    hits.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn private_docs(n: usize, d: usize, seed: u64) -> Vec<PrivateDoc> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|i| {
+                let mut e: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                normalize(&mut e);
+                PrivateDoc { id: i as u32, url: format!("file:///private/doc-{i}"), embedding: e }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encrypted_search_finds_the_nearest_document() {
+        let config = TiptoeConfig::test_small(80, 44);
+        let docs = private_docs(80, config.d_reduced, 1);
+        let (index_key, server) = build_encrypted_index(&config, &docs, 0xdeadbeef);
+        let mut rng = seeded_rng(2);
+        let client_key =
+            ClientKey::generate(server.underhood(), server.underhood().lwe().n, &mut rng);
+
+        let target = 23usize;
+        let mut q = docs[target].embedding.clone();
+        q[1] += 0.03;
+        let hits = search_encrypted(&index_key, &server, &client_key, &q, 5, &mut rng);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].0, target as u32, "top hit {:?}", hits[0]);
+        assert_eq!(hits[0].1, docs[target].url);
+    }
+
+    #[test]
+    fn server_state_is_ciphertext_only() {
+        let config = TiptoeConfig::test_small(40, 45);
+        let docs = private_docs(40, config.d_reduced, 3);
+        let (_, server_a) = build_encrypted_index(&config, &docs, 111);
+        let (_, server_b) = build_encrypted_index(&config, &docs, 222);
+        // Same corpus, different client keys -> different server bytes
+        // (the plaintext never reaches the server).
+        assert_eq!(
+            server_a.server.database().num_records(),
+            server_b.server.database().num_records()
+        );
+        let a = server_a.server.database().matrix().data();
+        let b = server_b.server.database().matrix().data();
+        assert_ne!(a, b, "server-side bytes must depend on the cipher key");
+    }
+
+    #[test]
+    fn wrong_cipher_key_cannot_decode() {
+        let config = TiptoeConfig::test_small(40, 46);
+        let docs = private_docs(40, config.d_reduced, 4);
+        let (mut index_key, server) = build_encrypted_index(&config, &docs, 777);
+        index_key.cipher_key = 778; // wrong key
+        let mut rng = seeded_rng(5);
+        let client_key =
+            ClientKey::generate(server.underhood(), server.underhood().lwe().n, &mut rng);
+        let hits =
+            search_encrypted(&index_key, &server, &client_key, &docs[0].embedding, 5, &mut rng);
+        assert!(hits.is_empty(), "garbled blob must not decode");
+    }
+}

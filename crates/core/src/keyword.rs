@@ -1,0 +1,231 @@
+//! Exact keyword search backends (paper §9, "Exact keyword search").
+//!
+//! Tiptoe's embedding search is weak on rare exact strings (phone
+//! numbers, addresses, uncommon names). The paper's proposed fix is a
+//! suite of per-type backends, each "a simple private key-value store
+//! mapping each string in the corpus (e.g., each phone number) in some
+//! canonical format to the IDs of documents containing that string",
+//! queried with keyword PIR. This module implements that design:
+//! canonicalization per key type, hashing keys into fixed buckets, and
+//! retrieving a bucket privately with the same SimplePIR + token stack
+//! as the URL service.
+
+use rand::Rng;
+use tiptoe_lwe::LweParams;
+use tiptoe_math::rng::derive_seed;
+use tiptoe_pir::{PirClient, PirDatabase, PirServer};
+use tiptoe_rlwe::RlweParams;
+use tiptoe_underhood::{ClientKey, EncryptedSecret, Underhood};
+
+/// The exact-string key types the backend suite supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyKind {
+    /// Telephone numbers (digits only, country code preserved).
+    PhoneNumber,
+    /// Street addresses (lowercased, whitespace-collapsed).
+    Address,
+    /// Anything else, canonicalized as a lowercase token string.
+    Generic,
+}
+
+/// Canonicalizes a raw query string for a key type (the paper:
+/// "canonicalize the query string and use it to make a key-value
+/// lookup").
+pub fn canonicalize(kind: KeyKind, raw: &str) -> String {
+    match kind {
+        KeyKind::PhoneNumber => raw.chars().filter(char::is_ascii_digit).collect(),
+        KeyKind::Address | KeyKind::Generic => raw
+            .to_lowercase()
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+/// Attempts to extract a typed key from a free-form query (the client
+/// software "would attempt to extract a string of each supported type
+/// from the query string").
+pub fn extract_key(query: &str) -> Option<(KeyKind, String)> {
+    let digits: String = query.chars().filter(char::is_ascii_digit).collect();
+    if digits.len() >= 7 {
+        return Some((KeyKind::PhoneNumber, digits));
+    }
+    let lower = query.to_lowercase();
+    for marker in ["street", "avenue", "ave ", "st ", "road", "blvd"] {
+        if lower.contains(marker) {
+            // Street addresses start at the house number: drop any
+            // leading words before the first digit.
+            let start = query.find(|c: char| c.is_ascii_digit()).unwrap_or(0);
+            return Some((KeyKind::Address, canonicalize(KeyKind::Address, &query[start..])));
+        }
+    }
+    None
+}
+
+/// A private key-value backend for one key type.
+pub struct KeywordBackend {
+    kind: KeyKind,
+    server: PirServer,
+    num_buckets: usize,
+}
+
+/// Number of hash buckets per backend (each bucket is one PIR record).
+fn bucket_of(key: &str, num_buckets: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % num_buckets as u64) as usize
+}
+
+impl KeywordBackend {
+    /// Builds a backend over `(key, doc_id)` pairs with production
+    /// parameters.
+    pub fn build(kind: KeyKind, entries: &[(String, u32)], num_buckets: usize, seed: u64) -> Self {
+        let lwe = LweParams::url_for_upload(num_buckets.max(1 << 10));
+        let uh = Underhood::with_outer(lwe, RlweParams::production(), 44);
+        Self::build_with(kind, entries, num_buckets, seed, uh)
+    }
+
+    /// Builds a backend with explicit crypto parameters (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets == 0`.
+    pub fn build_with(
+        kind: KeyKind,
+        entries: &[(String, u32)],
+        num_buckets: usize,
+        seed: u64,
+        uh: Underhood,
+    ) -> Self {
+        assert!(num_buckets > 0, "need at least one bucket");
+        let mut buckets: Vec<String> = vec![String::new(); num_buckets];
+        for (key, doc) in entries {
+            let canonical = canonicalize(kind, key);
+            let b = bucket_of(&canonical, num_buckets);
+            buckets[b].push_str(&format!("{canonical}\t{doc}\n"));
+        }
+        let records: Vec<Vec<u8>> = buckets.into_iter().map(String::into_bytes).collect();
+        // PIR records must be non-empty; pad the empty corpus case.
+        let records = if records.iter().all(Vec::is_empty) {
+            vec![vec![0u8]; num_buckets]
+        } else {
+            records
+        };
+        let db = PirDatabase::build_with_params(&records, *uh.lwe());
+        let server = PirServer::new(db, derive_seed(seed, 0x4b65), uh);
+        Self { kind, server, num_buckets }
+    }
+
+    /// The key type this backend serves.
+    pub fn kind(&self) -> KeyKind {
+        self.kind
+    }
+
+    /// The underlying composed-scheme parameters.
+    pub fn underhood(&self) -> &Underhood {
+        self.server.underhood()
+    }
+
+    /// Privately looks up a key: PIR-fetches the key's bucket and
+    /// scans it locally. Returns the matching document IDs.
+    ///
+    /// Uses one fresh (single-use) token per lookup.
+    pub fn lookup<R: Rng + ?Sized>(
+        &self,
+        key: &ClientKey,
+        raw_query: &str,
+        rng: &mut R,
+    ) -> Vec<u32> {
+        let canonical = canonicalize(self.kind, raw_query);
+        let bucket = bucket_of(&canonical, self.num_buckets);
+        let uh = self.server.underhood();
+        let es = EncryptedSecret::encrypt(uh, key, rng);
+        let token = self.server.generate_token(&es);
+        let client = PirClient::new(uh, key);
+        let mut decoded = client.decode_token(&token);
+        let ct = client.query(
+            &self.server.public_matrix(),
+            self.server.database().num_records(),
+            bucket,
+            rng,
+        );
+        let answer = self.server.answer(&ct);
+        let record = client.recover(self.server.database(), &mut decoded, &answer);
+        let text = String::from_utf8_lossy(&record);
+        text.lines()
+            .filter_map(|line| {
+                let (k, doc) = line.split_once('\t')?;
+                (k == canonical).then(|| doc.trim_end_matches('\0').parse().ok())?
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn test_uh() -> Underhood {
+        let lwe = LweParams::insecure_test(32, 991, 6.4);
+        let rlwe = RlweParams { degree: 64, q_bits: 58, t: 1 << 24, sigma: 3.2 };
+        Underhood::with_outer(lwe, rlwe, 44)
+    }
+
+    #[test]
+    fn canonicalization_per_kind() {
+        assert_eq!(canonicalize(KeyKind::PhoneNumber, "+1 (617) 253-0000"), "16172530000");
+        assert_eq!(canonicalize(KeyKind::Address, "  123  Main,  Street "), "123 main street");
+        assert_eq!(canonicalize(KeyKind::Generic, "Foo  BAR"), "foo bar");
+    }
+
+    #[test]
+    fn extract_key_finds_phone_numbers_and_addresses() {
+        assert_eq!(
+            extract_key("call me at 617-253-0000 today"),
+            Some((KeyKind::PhoneNumber, "6172530000".to_owned()))
+        );
+        let (kind, _) = extract_key("123 Main Street, New York").expect("address");
+        assert_eq!(kind, KeyKind::Address);
+        assert_eq!(extract_key("knee pain"), None);
+    }
+
+    #[test]
+    fn private_lookup_returns_exactly_the_matching_docs() {
+        let entries = vec![
+            ("617-253-0000".to_owned(), 7u32),
+            ("617-253-0000".to_owned(), 12),
+            ("415-555-1234".to_owned(), 3),
+            ("212-555-9876".to_owned(), 8),
+        ];
+        let backend =
+            KeywordBackend::build_with(KeyKind::PhoneNumber, &entries, 16, 5, test_uh());
+        let mut rng = seeded_rng(9);
+        let key = ClientKey::generate(backend.underhood(), backend.underhood().lwe().n, &mut rng);
+
+        let mut hits = backend.lookup(&key, "(617) 253 0000", &mut rng);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![7, 12]);
+
+        let miss = backend.lookup(&key, "999-999-9999", &mut rng);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn different_keys_in_same_bucket_do_not_collide() {
+        // Force collisions with a single bucket.
+        let entries = vec![
+            ("alpha".to_owned(), 1u32),
+            ("beta".to_owned(), 2),
+            ("gamma".to_owned(), 3),
+        ];
+        let backend = KeywordBackend::build_with(KeyKind::Generic, &entries, 1, 6, test_uh());
+        let mut rng = seeded_rng(10);
+        let key = ClientKey::generate(backend.underhood(), backend.underhood().lwe().n, &mut rng);
+        assert_eq!(backend.lookup(&key, "beta", &mut rng), vec![2]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Tiptoe: private web search (SOSP 2023), reproduced in Rust.
+//!
+//! This crate assembles the full system of the paper on top of the
+//! workspace's substrates:
+//!
+//! - [`config`] — deployment parameters (paper-faithful text/image
+//!   presets and a scaled-down test preset).
+//! - [`batch`] — the data-loading batch jobs of §3.2: embed, reduce
+//!   (PCA), cluster, quantize, lay out the ranking matrix, batch and
+//!   compress URLs, and preprocess all cryptographic hints.
+//! - [`ranking`] — the private ranking service of §4: the sharded
+//!   nearest-neighbor protocol over linearly homomorphic encryption.
+//! - [`url`] — the URL service of §5: SimplePIR retrieval of
+//!   compressed, content-grouped URL batches.
+//! - [`client`] — the Tiptoe client: local embedding + cluster
+//!   selection, token prefetch (§6.3), encrypted queries, decryption,
+//!   and result assembly, with exact per-phase cost accounting.
+//! - [`instance`] — a whole deployment (both services + the client
+//!   bundle) built from a corpus in one call.
+//! - [`analysis`] — the analytic cost models behind Table 6, Figure 8,
+//!   and Figure 9 (Coeus scaling, client-side-index baselines, AWS
+//!   prices, web-scale extrapolation).
+//! - [`keyword`] — the §9 exact-keyword-search extension (private
+//!   key-value lookups for phone numbers, addresses, …).
+//! - [`recommend`] — the §9 private-recommendations extension.
+//! - [`encrypted`] — the §9 search-over-encrypted-documents extension
+//!   (client-indexed corpus, PIR-fetched encrypted cluster blobs).
+//! - [`noncolluding`] — the §9 two-server mode: DPF-shared queries
+//!   over plaintext replicas, ~1 MiB/query instead of tens of MiB.
+//! - [`ads`] — the §9 private-advertising extension.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use tiptoe_core::config::TiptoeConfig;
+//! use tiptoe_core::instance::TiptoeInstance;
+//! use tiptoe_corpus::synth::{generate, CorpusConfig};
+//! use tiptoe_embed::text::TextEmbedder;
+//!
+//! let corpus = generate(&CorpusConfig::small(1000, 7), 0);
+//! let embedder = TextEmbedder::new(128, 7, 0);
+//! let config = TiptoeConfig::test_small(corpus.docs.len(), 42);
+//! let mut instance = TiptoeInstance::build(&config, &embedder, &corpus);
+//! let mut client = instance.new_client(1);
+//! let results = client.search(&mut instance, "museum opening hours", 10);
+//! for hit in &results.hits {
+//!     println!("{} {}", hit.url, hit.score);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ads;
+pub mod analysis;
+pub mod batch;
+pub mod client;
+pub mod config;
+pub mod encrypted;
+pub mod instance;
+pub mod keyword;
+pub mod noncolluding;
+pub mod ranking;
+pub mod recommend;
+pub mod throughput;
+pub mod update;
+pub mod url;

@@ -1,0 +1,186 @@
+//! Private recommendations (paper §9, "Private recommendations").
+//!
+//! "In a recommendation system, the client can hold a vector
+//! representing its profile or its recently viewed items. Then, with
+//! Tiptoe's private nearest-neighbor search protocol, the client can
+//! privately retrieve similar items from the recommendation system's
+//! servers." This module is exactly that: items are embedded, the
+//! catalog is clustered into the Figure 3 matrix, and the profile
+//! vector drives the same private ranking protocol — the server never
+//! learns the profile or which items were recommended.
+
+use rand::Rng;
+use tiptoe_cluster::{cluster_documents, Clustering};
+use tiptoe_embed::vector::normalize;
+use tiptoe_math::matrix::Mat;
+use tiptoe_underhood::{ClientKey, EncryptedSecret};
+
+use crate::config::TiptoeConfig;
+use crate::ranking::RankingService;
+
+/// A catalog item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item identifier.
+    pub id: u32,
+    /// Display name.
+    pub name: String,
+    /// Item embedding (unit-normalized on ingestion).
+    pub embedding: Vec<f32>,
+}
+
+/// A privately-served recommendation engine.
+pub struct RecommendationEngine {
+    service: RankingService,
+    clustering: Clustering,
+    items: Vec<Item>,
+    config: TiptoeConfig,
+}
+
+impl RecommendationEngine {
+    /// Builds the engine over a catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or embedding dimensions differ
+    /// from `config.d_reduced`.
+    pub fn build(config: &TiptoeConfig, mut items: Vec<Item>) -> Self {
+        assert!(!items.is_empty(), "empty catalog");
+        let d = config.d_reduced;
+        assert!(
+            items.iter().all(|i| i.embedding.len() == d),
+            "item embeddings must have dimension {d}"
+        );
+        for item in items.iter_mut() {
+            normalize(&mut item.embedding);
+        }
+        let embeddings: Vec<Vec<f32>> = items.iter().map(|i| i.embedding.clone()).collect();
+        let clustering = cluster_documents(&embeddings, &config.cluster);
+
+        // Figure 3 layout over the catalog.
+        let quant = config.quantizer();
+        let c = clustering.num_clusters();
+        let rows = clustering.max_cluster_size();
+        let mut matrix: Mat<u32> = Mat::zeros(rows, d * c);
+        for (ci, members) in clustering.members.iter().enumerate() {
+            for (row, &item) in members.iter().enumerate() {
+                let q = quant.to_zp(&items[item as usize].embedding);
+                matrix.row_mut(row)[ci * d..ci * d + d].copy_from_slice(&q);
+            }
+        }
+        let service = RankingService::from_matrix(config, &matrix);
+        Self { service, clustering, items, config: config.clone() }
+    }
+
+    /// The ranking service (exposed so clients can share tokens).
+    pub fn service(&self) -> &RankingService {
+        &self.service
+    }
+
+    /// The catalog size.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Privately retrieves the `k` catalog items nearest to `profile`.
+    /// The engine sees only ciphertexts; cluster selection happens
+    /// client-side against the (public) centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile.len() != d`.
+    pub fn recommend<R: Rng + ?Sized>(
+        &self,
+        key: &ClientKey,
+        profile: &[f32],
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<(u32, String, f32)> {
+        let d = self.config.d_reduced;
+        assert_eq!(profile.len(), d, "profile dimension mismatch");
+        let mut p = profile.to_vec();
+        normalize(&mut p);
+        let cluster = self.clustering.nearest_centroid(&p);
+
+        // Offline: token. Online: encrypted profile query.
+        let uh = self.service.underhood();
+        let es = EncryptedSecret::encrypt(uh, key, rng);
+        let (token, _) = self.service.generate_token(&es);
+        let mut decoded = uh.decode_token::<u64>(key, &token);
+
+        let quant = self.config.quantizer();
+        let p_zp = quant.to_zp(&p);
+        let mut v = vec![0u64; self.service.upload_dim()];
+        for (j, &x) in p_zp.iter().enumerate() {
+            v[cluster * d + j] = x as u64;
+        }
+        let ct = uh.encrypt_query::<u64, _>(key, &self.service.public_matrix(), &v, rng);
+        let (applied, _) = self.service.answer(&ct);
+        let raw = uh.decrypt(&mut decoded, &applied);
+
+        let members = &self.clustering.members[cluster];
+        let scale2 = (quant.encoder().scale() * quant.encoder().scale()) as f32;
+        let mut scored: Vec<(u32, String, f32)> = members
+            .iter()
+            .enumerate()
+            .map(|(row, &item)| {
+                let score = quant.encoder().decode_signed(raw[row]) as f32 / scale2;
+                (self.items[item as usize].id, self.items[item as usize].name.clone(), score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn catalog(n: usize, d: usize, seed: u64) -> Vec<Item> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|i| {
+                let mut e: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                normalize(&mut e);
+                Item { id: i as u32, name: format!("item-{i}"), embedding: e }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn profile_retrieves_similar_items_privately() {
+        let config = TiptoeConfig::test_small(120, 33);
+        let items = catalog(120, config.d_reduced, 1);
+        let engine = RecommendationEngine::build(&config, items.clone());
+        let mut rng = seeded_rng(2);
+        let key = ClientKey::generate(engine.service().underhood(), config.rank_lwe.n, &mut rng);
+
+        // Profile = a slightly perturbed catalog item: that item should
+        // top the recommendations.
+        let target = 17usize;
+        let mut profile = items[target].embedding.clone();
+        profile[0] += 0.05;
+        let recs = engine.recommend(&key, &profile, 5, &mut rng);
+        assert_eq!(recs.len().min(5), recs.len());
+        assert_eq!(recs[0].0, target as u32, "top rec {:?}", recs[0]);
+        for w in recs.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn recommendations_carry_names() {
+        let config = TiptoeConfig::test_small(60, 34);
+        let items = catalog(60, config.d_reduced, 3);
+        let engine = RecommendationEngine::build(&config, items);
+        let mut rng = seeded_rng(4);
+        let key = ClientKey::generate(engine.service().underhood(), config.rank_lwe.n, &mut rng);
+        let profile = vec![0.1f32; config.d_reduced];
+        let recs = engine.recommend(&key, &profile, 3, &mut rng);
+        assert!(!recs.is_empty());
+        assert!(recs[0].1.starts_with("item-"));
+    }
+}

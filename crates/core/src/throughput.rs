@@ -1,0 +1,182 @@
+//! Query-throughput machinery (paper §8.1: "to measure query
+//! throughput, we simulate running up to 19 clients … which generates
+//! enough load to saturate the servers"; Table 7's queries/s rows).
+//!
+//! Two pieces:
+//!
+//! - [`RankingCluster`] — the §4.3 coordinator/worker runtime over a
+//!   real message-passing pool ([`tiptoe_net::WorkerPool`]): ciphertext
+//!   chunks travel over channels to long-lived worker threads, partial
+//!   products return, and the coordinator sums them. Results are
+//!   bit-identical to the sequential [`RankingService::answer`].
+//! - [`measure_online_throughput`] — a closed-loop multi-client driver
+//!   that prefetches tokens, then hammers the online path and reports
+//!   sustained queries/s.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tiptoe_corpus::synth::Corpus;
+use tiptoe_embed::Embedder;
+use tiptoe_lwe::LweCiphertext;
+use tiptoe_math::zq::Word;
+use tiptoe_net::WorkerPool;
+
+use crate::instance::TiptoeInstance;
+use crate::ranking::RankingService;
+
+/// A ranking service deployed across worker threads with channel-borne
+/// requests (the message-flow shape of the paper's 40-machine text
+/// deployment).
+pub struct RankingCluster {
+    service: Arc<RankingService>,
+    pool: WorkerPool<Vec<u64>, Vec<u64>>,
+}
+
+impl RankingCluster {
+    /// Spawns one worker thread per shard.
+    pub fn spawn(service: Arc<RankingService>) -> Self {
+        let for_pool = Arc::clone(&service);
+        let pool = WorkerPool::spawn(service.num_shards(), move |idx, chunk: Vec<u64>| {
+            for_pool.shard_answer(idx, &chunk)
+        });
+        Self { service, pool }
+    }
+
+    /// Coordinator: splits the ciphertext by shard columns, fans the
+    /// chunks out over channels, and sums the partial answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension differs from `d·C`.
+    pub fn answer(&self, ct: &LweCiphertext<u64>) -> Vec<u64> {
+        assert_eq!(ct.c.len(), self.service.upload_dim(), "ciphertext dimension mismatch");
+        let requests: Vec<Vec<u64>> = (0..self.service.num_shards())
+            .map(|idx| {
+                let (start, end) = self.service.shard_columns(idx);
+                ct.c[start..end].to_vec()
+            })
+            .collect();
+        let parts = self.pool.scatter_gather(requests);
+        let mut total = vec![0u64; self.service.rows()];
+        for part in parts {
+            for (t, p) in total.iter_mut().zip(part.iter()) {
+                *t = t.wadd(*p);
+            }
+        }
+        total
+    }
+
+    /// Shuts down the worker threads.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Outcome of a throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputReport {
+    /// Total queries completed.
+    pub queries: usize,
+    /// Wall-clock time of the measured (online) phase.
+    pub wall: Duration,
+    /// Sustained online queries per second.
+    pub qps: f64,
+}
+
+/// Runs `clients` concurrent closed-loop clients, each issuing
+/// `queries_per_client` online searches with pre-fetched tokens, and
+/// reports the sustained rate. (Token prefetch is excluded from the
+/// measured window, matching the paper's split of token-generation and
+/// ranking throughput.)
+///
+/// # Panics
+///
+/// Panics if `clients == 0`, `queries_per_client == 0`, or the corpus
+/// has no benchmark queries.
+pub fn measure_online_throughput<E: Embedder + Send + Sync>(
+    instance: &TiptoeInstance<E>,
+    corpus: &Corpus,
+    clients: usize,
+    queries_per_client: usize,
+) -> ThroughputReport {
+    assert!(clients > 0 && queries_per_client > 0, "degenerate load");
+    assert!(!corpus.queries.is_empty(), "no benchmark queries");
+
+    // Prefetch phase (unmeasured).
+    let mut prepared: Vec<_> = (0..clients)
+        .map(|i| {
+            let mut client = instance.new_client(1000 + i as u64);
+            for _ in 0..queries_per_client {
+                client.fetch_token(instance);
+            }
+            client
+        })
+        .collect();
+
+    // Measured online phase: clients run concurrently.
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, client) in prepared.iter_mut().enumerate() {
+            let queries = &corpus.queries;
+            scope.spawn(move || {
+                for k in 0..queries_per_client {
+                    let q = &queries[(i + k) % queries.len()];
+                    let results = client.search(instance, &q.text, 10);
+                    std::hint::black_box(results);
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let queries = clients * queries_per_client;
+    ThroughputReport { queries, wall, qps: queries as f64 / wall.as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tiptoe_corpus::synth::{generate, CorpusConfig};
+    use tiptoe_embed::text::TextEmbedder;
+    use tiptoe_math::rng::seeded_rng;
+    use tiptoe_underhood::ClientKey;
+
+    use crate::batch::run_batch_jobs;
+    use crate::config::TiptoeConfig;
+
+    #[test]
+    fn cluster_answers_match_sequential_service() {
+        let corpus = generate(&CorpusConfig::small(150, 71), 0);
+        let config = TiptoeConfig::test_small(150, 71);
+        let embedder = TextEmbedder::new(config.d_embed, 71, 0);
+        let artifacts = run_batch_jobs(&config, &embedder, &corpus);
+        let service = Arc::new(RankingService::build(&config, &artifacts));
+        let cluster = RankingCluster::spawn(Arc::clone(&service));
+
+        let mut rng = seeded_rng(1);
+        let uh = service.underhood();
+        let key = ClientKey::generate(uh, config.rank_lwe.n, &mut rng);
+        for _ in 0..3 {
+            let v: Vec<u64> =
+                (0..service.upload_dim()).map(|_| rng.gen_range(0..config.rank_lwe.p)).collect();
+            let ct = uh.encrypt_query::<u64, _>(&key, &service.public_matrix(), &v, &mut rng);
+            let (sequential, _) = service.answer(&ct);
+            let concurrent = cluster.answer(&ct);
+            assert_eq!(sequential, concurrent, "cluster must be bit-identical");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn throughput_driver_completes_all_queries() {
+        let corpus = generate(&CorpusConfig::small(120, 72), 6);
+        let config = TiptoeConfig::test_small(120, 72);
+        let embedder = TextEmbedder::new(config.d_embed, 72, 0);
+        let instance = TiptoeInstance::build(&config, embedder, &corpus);
+        let report = measure_online_throughput(&instance, &corpus, 2, 2);
+        assert_eq!(report.queries, 4);
+        assert!(report.qps > 0.0);
+        assert!(report.wall > Duration::ZERO);
+    }
+}

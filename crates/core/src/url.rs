@@ -1,0 +1,134 @@
+//! Tiptoe's URL service (paper §5): private retrieval of one
+//! compressed, content-grouped URL batch via SimplePIR.
+
+use std::time::Duration;
+
+use tiptoe_lwe::{LweCiphertext, MatrixA};
+use tiptoe_math::rng::derive_seed;
+use tiptoe_net::{timed, ParallelTiming};
+use tiptoe_pir::{PirDatabase, PirServer};
+use tiptoe_underhood::{EncryptedSecret, ExpandedSecret, QueryToken, Underhood};
+
+use crate::batch::IndexArtifacts;
+use crate::config::TiptoeConfig;
+
+/// The URL service: a PIR server over the compressed URL batches.
+pub struct UrlService {
+    server: PirServer,
+    /// Wall-clock spent in cryptographic preprocessing at build time.
+    pub preproc_time: Duration,
+}
+
+impl UrlService {
+    /// Builds the service from batch artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no URL batches.
+    pub fn build(config: &TiptoeConfig, artifacts: &IndexArtifacts) -> Self {
+        let records: Vec<Vec<u8>> =
+            artifacts.url_batches.iter().map(|b| b.compressed.clone()).collect();
+        let db = PirDatabase::build_with_params(&records, config.url_lwe);
+        let uh = Underhood::with_outer(config.url_lwe, config.rlwe, config.switch_log_q2);
+        let (server, preproc_time) =
+            timed(|| PirServer::new(db, derive_seed(config.seed, 0xB161), uh));
+        Self { server, preproc_time }
+    }
+
+    /// The composed-scheme parameters (shared with clients).
+    pub fn underhood(&self) -> &Underhood {
+        self.server.underhood()
+    }
+
+    /// The public matrix clients encrypt against.
+    pub fn public_matrix(&self) -> MatrixA {
+        self.server.public_matrix()
+    }
+
+    /// The PIR database metadata (record size and count).
+    pub fn database(&self) -> &PirDatabase {
+        self.server.database()
+    }
+
+    /// Generates a (single-use) URL-retrieval token.
+    pub fn generate_token(&self, es: &EncryptedSecret) -> (QueryToken, ParallelTiming) {
+        let (token, wall) = timed(|| self.server.generate_token(es));
+        (token, ParallelTiming { wall, cpu: wall })
+    }
+
+    /// Token generation over a pre-expanded secret.
+    pub fn generate_token_expanded(&self, es: &ExpandedSecret) -> (QueryToken, ParallelTiming) {
+        let (token, wall) = timed(|| self.server.generate_token_expanded(es));
+        (token, ParallelTiming { wall, cpu: wall })
+    }
+
+    /// Answers an online PIR query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension differs from the record
+    /// count.
+    pub fn answer(&self, ct: &LweCiphertext<u32>) -> (Vec<u32>, ParallelTiming) {
+        let (answer, wall) = timed(|| self.server.answer(ct));
+        (answer, ParallelTiming { wall, cpu: wall })
+    }
+
+    /// Server-side storage.
+    pub fn storage_bytes(&self) -> u64 {
+        self.server.database().storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_corpus::synth::{generate, CorpusConfig};
+    use tiptoe_embed::text::TextEmbedder;
+    use tiptoe_math::rng::seeded_rng;
+    use tiptoe_pir::PirClient;
+    use tiptoe_underhood::ClientKey;
+
+    use crate::batch::run_batch_jobs;
+
+    #[test]
+    fn retrieves_the_batch_for_a_ranked_document() {
+        let corpus = generate(&CorpusConfig::small(150, 13), 0);
+        let config = TiptoeConfig::test_small(150, 13);
+        let embedder = TextEmbedder::new(config.d_embed, 13, 0);
+        let artifacts = run_batch_jobs(&config, &embedder, &corpus);
+        let service = UrlService::build(&config, &artifacts);
+        let mut rng = seeded_rng(77);
+
+        let uh = service.underhood();
+        let key = ClientKey::generate(uh, config.url_lwe.n, &mut rng);
+        let es = EncryptedSecret::encrypt(uh, &key, &mut rng);
+        let client = PirClient::new(uh, &key);
+
+        // Pretend ranking returned row 0 of cluster 0.
+        let cluster = 0usize;
+        let row = 0usize;
+        let batch_idx = artifacts.meta.batch_of(cluster, row);
+
+        let (token, _) = service.generate_token(&es);
+        let mut decoded = client.decode_token(&token);
+        let ct = client.query(
+            &service.public_matrix(),
+            service.database().num_records(),
+            batch_idx,
+            &mut rng,
+        );
+        let (answer, _) = service.answer(&ct);
+        let record = client.recover(service.database(), &mut decoded, &answer);
+
+        // The recovered (padded) record starts with the stored batch.
+        let want = &artifacts.url_batches[batch_idx].compressed;
+        assert_eq!(&record[..want.len()], &want[..]);
+
+        // And it decodes to the right URLs.
+        let doc = artifacts.clustering.members[cluster][row];
+        let decoded_urls = artifacts.url_batches[batch_idx].decode().expect("decodes");
+        assert!(decoded_urls
+            .iter()
+            .any(|(d, u)| *d == doc && *u == corpus.docs[doc as usize].url));
+    }
+}

@@ -1,0 +1,250 @@
+//! URL batching for the PIR database (paper §5).
+//!
+//! URLs are grouped **by content** (documents of the same cluster stay
+//! together) so that when a client fetches the batch containing its
+//! best-matching document, the other top matches are likely in the same
+//! batch. Each batch holds up to ~880 URLs, is compressed with
+//! [`crate::tzip`], must not exceed the PIR record budget (≤ 40 KiB,
+//! Appendix C), and drops URLs longer than 500 characters.
+
+use crate::tzip;
+
+/// Batching limits (paper values).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Maximum URLs per batch (≈880 in §5).
+    pub max_urls: usize,
+    /// Maximum compressed bytes per batch (40 KiB in Appendix C).
+    pub max_compressed_bytes: usize,
+    /// URLs longer than this are dropped (500 in §5).
+    pub max_url_len: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_urls: 880, max_compressed_bytes: 40 << 10, max_url_len: 500 }
+    }
+}
+
+/// One compressed URL batch.
+#[derive(Debug, Clone)]
+pub struct UrlBatch {
+    /// Compressed payload (the PIR record).
+    pub compressed: Vec<u8>,
+    /// Document IDs covered, in order.
+    pub doc_ids: Vec<u32>,
+}
+
+impl UrlBatch {
+    /// Decompresses into `(doc_id, url)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the payload is corrupt.
+    pub fn decode(&self) -> Result<Vec<(u32, String)>, tzip::TzipError> {
+        let raw = tzip::decompress(&self.compressed)?;
+        let text = String::from_utf8_lossy(&raw);
+        Ok(self
+            .doc_ids
+            .iter()
+            .zip(text.split('\n'))
+            .map(|(&id, url)| (id, url.to_owned()))
+            .collect())
+    }
+}
+
+/// The output of batching: batches plus a doc → batch index.
+#[derive(Debug, Clone)]
+pub struct BatchedUrls {
+    /// All batches, in content order.
+    pub batches: Vec<UrlBatch>,
+    /// `doc_to_batch[doc] = Some(batch index)`, or `None` if the URL
+    /// was dropped (over-long).
+    pub doc_to_batch: Vec<Option<u32>>,
+}
+
+impl BatchedUrls {
+    /// Builds batches from `(doc_id, url)` pairs already ordered by
+    /// content (e.g. cluster-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_docs` is smaller than the largest doc ID + 1.
+    pub fn build(ordered: &[(u32, &str)], num_docs: usize, config: &BatchConfig) -> Self {
+        let mut doc_to_batch = vec![None; num_docs];
+        let mut batches: Vec<UrlBatch> = Vec::new();
+        let mut pending: Vec<(u32, &str)> = Vec::new();
+
+        let flush = |pending: &mut Vec<(u32, &str)>,
+                     batches: &mut Vec<UrlBatch>,
+                     doc_to_batch: &mut Vec<Option<u32>>| {
+            if pending.is_empty() {
+                return;
+            }
+            let blob: String =
+                pending.iter().map(|(_, u)| *u).collect::<Vec<_>>().join("\n");
+            let compressed = tzip::compress(blob.as_bytes());
+            let idx = batches.len() as u32;
+            for &(doc, _) in pending.iter() {
+                assert!((doc as usize) < doc_to_batch.len(), "doc id out of range");
+                doc_to_batch[doc as usize] = Some(idx);
+            }
+            batches.push(UrlBatch {
+                compressed,
+                doc_ids: pending.iter().map(|&(d, _)| d).collect(),
+            });
+            pending.clear();
+        };
+
+        // Conservative per-URL compressed estimate to avoid a trial
+        // compression per URL: assume ~45% ratio, then verify at flush.
+        for &(doc, url) in ordered {
+            if url.len() > config.max_url_len {
+                continue; // Dropped, per §5.
+            }
+            pending.push((doc, url));
+            let est: usize = pending.iter().map(|(_, u)| u.len() * 45 / 100 + 2).sum();
+            if pending.len() >= config.max_urls || est >= config.max_compressed_bytes {
+                flush(&mut pending, &mut batches, &mut doc_to_batch);
+            }
+        }
+        flush(&mut pending, &mut batches, &mut doc_to_batch);
+
+        // Verify the hard cap; split any violating batch in half.
+        let mut i = 0;
+        while i < batches.len() {
+            if batches[i].compressed.len() > config.max_compressed_bytes
+                && batches[i].doc_ids.len() > 1
+            {
+                let batch = batches.remove(i);
+                let decoded = batch.decode().expect("self-produced batch decodes");
+                let mid = decoded.len() / 2;
+                for (offset, half) in [&decoded[..mid], &decoded[mid..]].iter().enumerate() {
+                    let blob: String =
+                        half.iter().map(|(_, u)| u.as_str()).collect::<Vec<_>>().join("\n");
+                    let idx = (i + offset) as u32;
+                    for (d, _) in half.iter() {
+                        doc_to_batch[*d as usize] = Some(idx);
+                    }
+                    batches.insert(
+                        i + offset,
+                        UrlBatch {
+                            compressed: tzip::compress(blob.as_bytes()),
+                            doc_ids: half.iter().map(|(d, _)| *d).collect(),
+                        },
+                    );
+                }
+                // Re-index everything after the split.
+                for (bi, b) in batches.iter().enumerate().skip(i + 2) {
+                    for &d in &b.doc_ids {
+                        doc_to_batch[d as usize] = Some(bi as u32);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        Self { batches, doc_to_batch }
+    }
+
+    /// The PIR records (compressed payloads).
+    pub fn records(&self) -> Vec<Vec<u8>> {
+        self.batches.iter().map(|b| b.compressed.clone()).collect()
+    }
+
+    /// Mean compressed bytes per (kept) URL — the §5 "22 bytes to
+    /// represent on average" statistic.
+    pub fn bytes_per_url(&self) -> f64 {
+        let urls: usize = self.batches.iter().map(|b| b.doc_ids.len()).sum();
+        if urls == 0 {
+            return 0.0;
+        }
+        let bytes: usize = self.batches.iter().map(|b| b.compressed.len()).sum();
+        bytes as f64 / urls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urls(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "https://www.site-{}.example.org/section/{}/article-{}",
+                    i % 20,
+                    i % 7,
+                    i
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batches_respect_count_cap() {
+        let u = urls(250);
+        let pairs: Vec<(u32, &str)> = u.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())).collect();
+        let cfg = BatchConfig { max_urls: 100, ..Default::default() };
+        let batched = BatchedUrls::build(&pairs, 250, &cfg);
+        assert!(batched.batches.len() >= 3);
+        for b in &batched.batches {
+            assert!(b.doc_ids.len() <= 100);
+        }
+    }
+
+    #[test]
+    fn every_kept_url_is_recoverable() {
+        let u = urls(120);
+        let pairs: Vec<(u32, &str)> = u.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())).collect();
+        let batched = BatchedUrls::build(&pairs, 120, &BatchConfig::default());
+        for (doc, url) in &pairs {
+            let batch_idx = batched.doc_to_batch[*doc as usize].expect("kept") as usize;
+            let decoded = batched.batches[batch_idx].decode().expect("decodes");
+            let found = decoded.iter().find(|(d, _)| d == doc).expect("doc in batch");
+            assert_eq!(found.1, *url);
+        }
+    }
+
+    #[test]
+    fn overlong_urls_are_dropped() {
+        let long = "https://example.com/".to_owned() + &"x".repeat(600);
+        let short = "https://example.com/ok".to_owned();
+        let pairs = vec![(0u32, long.as_str()), (1u32, short.as_str())];
+        let batched = BatchedUrls::build(&pairs, 2, &BatchConfig::default());
+        assert!(batched.doc_to_batch[0].is_none());
+        assert!(batched.doc_to_batch[1].is_some());
+    }
+
+    #[test]
+    fn compressed_size_cap_is_enforced() {
+        // Incompressible-ish URLs force the size-based flush.
+        let u: Vec<String> = (0..4000)
+            .map(|i| format!("https://r{:x}.example.net/{:x}{:x}", i * 2654435761u64 % 997, i * 40503 % 104729, i))
+            .collect();
+        let pairs: Vec<(u32, &str)> = u.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())).collect();
+        let cfg = BatchConfig { max_urls: 100_000, max_compressed_bytes: 4096, max_url_len: 500 };
+        let batched = BatchedUrls::build(&pairs, 4000, &cfg);
+        assert!(batched.batches.len() > 1);
+        for b in &batched.batches {
+            assert!(b.compressed.len() <= 4096, "batch of {} bytes", b.compressed.len());
+        }
+    }
+
+    #[test]
+    fn bytes_per_url_is_small_for_batched_urls() {
+        let u = urls(880);
+        let pairs: Vec<(u32, &str)> = u.iter().enumerate().map(|(i, s)| (i as u32, s.as_str())).collect();
+        let batched = BatchedUrls::build(&pairs, 880, &BatchConfig::default());
+        let per_url = batched.bytes_per_url();
+        assert!(per_url < 30.0, "got {per_url:.1} bytes/URL");
+    }
+
+    #[test]
+    fn empty_input_produces_no_batches() {
+        let batched = BatchedUrls::build(&[], 0, &BatchConfig::default());
+        assert!(batched.batches.is_empty());
+        assert_eq!(batched.bytes_per_url(), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Corpus substrate: synthetic web corpora, URL metadata, and the
+//! compression pipeline behind Tiptoe's URL service (paper §5, §8.1).
+//!
+//! The paper evaluates on the C4 crawl (364M pages) and LAION-400M;
+//! neither is available here, so [`synth`] generates topic-structured
+//! corpora with URLs and MS-MARCO-like query/answer pairs (see
+//! `DESIGN.md` §2 for why this preserves the evaluation's shape).
+//!
+//! [`tzip`] is a self-contained LZ77 + canonical-Huffman codec standing
+//! in for zlib: the URL service compresses ~880 URLs at a time so that
+//! each URL costs ~22 bytes (paper §5). [`batch`] implements that
+//! grouping: URLs ordered by content (cluster), batched under both a
+//! count and a compressed-size cap (≤ 40 KiB per PIR record), with
+//! over-long URLs dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod synth;
+pub mod tzip;

@@ -1,0 +1,635 @@
+//! A self-contained LZ77 + canonical-Huffman codec ("tzip").
+//!
+//! Stands in for zlib in the URL-batch compression of the paper's §5
+//! ("we assemble URLs into batches and compress roughly 880 of them at
+//! a time using zlib"). The format is DEFLATE-shaped but simpler:
+//!
+//! - greedy LZ77 over a 32 KiB window with hash-chain match finding,
+//! - DEFLATE's length/distance bucket tables with extra bits,
+//! - two canonical Huffman alphabets (literal/length and distance)
+//!   whose code lengths travel in an RLE-compressed header,
+//! - a bit-level tree-walking decoder (no code-length limit needed).
+
+/// Window size for back-references.
+const WINDOW: usize = 32 * 1024;
+/// Minimum and maximum match lengths.
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Maximum hash-chain probes per position.
+const MAX_CHAIN: usize = 64;
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Literal/length alphabet size (256 literals + EOB + 29 length codes).
+const NUM_LITLEN: usize = 286;
+/// Distance alphabet size.
+const NUM_DIST: usize = 30;
+
+/// DEFLATE length-code base values (symbol 257 + i encodes lengths
+/// starting at `LEN_BASE[i]` with `LEN_EXTRA[i]` extra bits).
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Decompression failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TzipError {
+    /// The input ended before the stream was complete.
+    Truncated,
+    /// The header or bitstream is malformed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TzipError::Truncated => write!(f, "tzip stream truncated"),
+            TzipError::Corrupt(what) => write!(f, "tzip stream corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TzipError {}
+
+// ---------------------------------------------------------------------
+// LZ77
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { len: u16, dist: u16 },
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9e37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79b9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x7f4a));
+    (h as usize) & 0xffff
+}
+
+/// Greedy LZ77 with hash chains.
+fn lz77(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    if data.is_empty() {
+        return tokens;
+    }
+    let mut head = vec![usize::MAX; 1 << 16];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut i = 0usize;
+    while i < data.len() {
+        if i + MIN_MATCH > data.len() {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash3(data, i);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h];
+        let mut probes = 0;
+        while cand != usize::MAX && probes < MAX_CHAIN && i - cand <= WINDOW {
+            let max_here = (data.len() - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < max_here && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - cand;
+                if l == max_here {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            probes += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            // Insert hash entries for every covered position.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            for (j, slot) in prev.iter_mut().enumerate().take(end).skip(i) {
+                let hj = hash3(data, j);
+                *slot = head[hj];
+                head[hj] = j;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            prev[i] = head[h];
+            head[h] = i;
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Maps a match length to (symbol offset in 0..29, extra bits value).
+fn length_code(len: u16) -> (usize, u32, u8) {
+    debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
+    let mut idx = LEN_BASE.partition_point(|&b| b <= len) - 1;
+    // Length 258 must use the dedicated code 28 rather than 227+extra.
+    if len == 258 {
+        idx = 28;
+    }
+    (idx, (len - LEN_BASE[idx]) as u32, LEN_EXTRA[idx])
+}
+
+fn dist_code(dist: u16) -> (usize, u32, u8) {
+    debug_assert!(dist >= 1);
+    let idx = DIST_BASE.partition_point(|&b| b <= dist) - 1;
+    (idx, (dist - DIST_BASE[idx]) as u32, DIST_EXTRA[idx])
+}
+
+// ---------------------------------------------------------------------
+// Canonical Huffman
+// ---------------------------------------------------------------------
+
+/// Computes Huffman code lengths from symbol frequencies (0 for unused
+/// symbols). Uses the standard two-queue construction; no length limit
+/// is imposed (the decoder walks a tree bit by bit).
+fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let used: Vec<usize> = (0..n).filter(|&s| freqs[s] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Heap of (freq, node). Leaves are 0..n, internal nodes follow.
+    #[derive(PartialEq, Eq)]
+    struct Node(u64, usize);
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.cmp(&self.0).then(other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut parents: Vec<usize> = vec![usize::MAX; n];
+    for &s in &used {
+        heap.push(Node(freqs[s], s));
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        let id = parents.len();
+        parents.push(usize::MAX);
+        parents[a.1] = id;
+        parents[b.1] = id;
+        heap.push(Node(a.0 + b.0, id));
+    }
+    for &s in &used {
+        let mut depth = 0u8;
+        let mut node = s;
+        while parents[node] != usize::MAX {
+            node = parents[node];
+            depth += 1;
+        }
+        lengths[s] = depth;
+    }
+    lengths
+}
+
+/// Assigns canonical codes from code lengths: codes are ordered by
+/// (length, symbol), MSB-first. Arithmetic is 64-bit so that hostile
+/// headers (lengths up to 255 before validation) cannot overflow.
+fn canonical_codes(lengths: &[u8]) -> Vec<u64> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u64; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u64; max_len + 2];
+    let mut code = 0u64;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]).wrapping_shl(1);
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// A binary decoding tree for one alphabet.
+struct DecodeTree {
+    /// `nodes[i] = (left, right)`; leaves are encoded as `symbol + LEAF`.
+    nodes: Vec<(u32, u32)>,
+}
+
+const LEAF: u32 = 1 << 30;
+const EMPTY: u32 = u32::MAX;
+
+/// Upper bound on accepted code lengths: our own encoder never exceeds
+/// ~40 bits even on pathological inputs, and the tree-walk decoder
+/// needs lengths to fit a u64 code.
+const MAX_CODE_LEN: u8 = 58;
+
+impl DecodeTree {
+    fn build(lengths: &[u8]) -> Result<Self, TzipError> {
+        if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(TzipError::Corrupt("code length out of range"));
+        }
+        let codes = canonical_codes(lengths);
+        let mut nodes = vec![(EMPTY, EMPTY)];
+        for (sym, (&len, &code)) in lengths.iter().zip(codes.iter()).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let mut node = 0usize;
+            for bit_idx in (0..len).rev() {
+                let bit = (code >> bit_idx) & 1;
+                let slot = if bit == 0 { nodes[node].0 } else { nodes[node].1 };
+                let next = if bit_idx == 0 {
+                    // Leaf.
+                    if slot != EMPTY {
+                        return Err(TzipError::Corrupt("overlapping codes"));
+                    }
+                    sym as u32 + LEAF
+                } else if slot == EMPTY {
+                    nodes.push((EMPTY, EMPTY));
+                    (nodes.len() - 1) as u32
+                } else if slot >= LEAF {
+                    return Err(TzipError::Corrupt("code under a leaf"));
+                } else {
+                    slot
+                };
+                if bit == 0 {
+                    nodes[node].0 = next;
+                } else {
+                    nodes[node].1 = next;
+                }
+                if bit_idx > 0 {
+                    node = next as usize;
+                }
+            }
+        }
+        Ok(Self { nodes })
+    }
+
+    fn decode(&self, reader: &mut BitReader<'_>) -> Result<usize, TzipError> {
+        let mut node = 0usize;
+        loop {
+            let bit = reader.read_bit()?;
+            let next = if bit == 0 { self.nodes[node].0 } else { self.nodes[node].1 };
+            if next == EMPTY {
+                return Err(TzipError::Corrupt("invalid code path"));
+            }
+            if next >= LEAF {
+                return Ok((next - LEAF) as usize);
+            }
+            node = next as usize;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit I/O (MSB-first)
+// ---------------------------------------------------------------------
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        Self { bytes: Vec::new(), bit_pos: 0 }
+    }
+
+    fn write_bits(&mut self, value: u64, count: u8) {
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn read_bit(&mut self) -> Result<u32, TzipError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(TzipError::Truncated);
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    fn read_bits(&mut self, count: u8) -> Result<u32, TzipError> {
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Header: RLE-coded code lengths
+// ---------------------------------------------------------------------
+
+fn write_lengths(out: &mut Vec<u8>, lengths: &[u8]) {
+    // Runs of zeros as (0, run-1); other lengths verbatim.
+    let mut i = 0;
+    while i < lengths.len() {
+        if lengths[i] == 0 {
+            let mut run = 1usize;
+            while i + run < lengths.len() && lengths[i + run] == 0 && run < 256 {
+                run += 1;
+            }
+            out.push(0);
+            out.push((run - 1) as u8);
+            i += run;
+        } else {
+            out.push(lengths[i]);
+            i += 1;
+        }
+    }
+}
+
+fn read_lengths(data: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u8>, TzipError> {
+    let mut lengths = Vec::with_capacity(n);
+    while lengths.len() < n {
+        let b = *data.get(*pos).ok_or(TzipError::Truncated)?;
+        *pos += 1;
+        if b == 0 {
+            let run = *data.get(*pos).ok_or(TzipError::Truncated)? as usize + 1;
+            *pos += 1;
+            if lengths.len() + run > n {
+                return Err(TzipError::Corrupt("zero run overflows alphabet"));
+            }
+            lengths.extend(std::iter::repeat(0).take(run));
+        } else {
+            lengths.push(b);
+        }
+    }
+    Ok(lengths)
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Compresses a byte blob.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = lz77(data);
+
+    // Frequency counts.
+    let mut litlen_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => litlen_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                litlen_freq[257 + length_code(len).0] += 1;
+                dist_freq[dist_code(dist).0] += 1;
+            }
+        }
+    }
+    litlen_freq[EOB] += 1;
+
+    let litlen_lengths = huffman_lengths(&litlen_freq);
+    let dist_lengths = huffman_lengths(&dist_freq);
+    let litlen_codes = canonical_codes(&litlen_lengths);
+    let dist_codes = canonical_codes(&dist_lengths);
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    write_lengths(&mut out, &litlen_lengths);
+    write_lengths(&mut out, &dist_lengths);
+
+    let mut writer = BitWriter::new();
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                writer.write_bits(litlen_codes[b as usize], litlen_lengths[b as usize]);
+            }
+            Token::Match { len, dist } => {
+                let (li, lextra, lbits) = length_code(len);
+                writer.write_bits(litlen_codes[257 + li], litlen_lengths[257 + li]);
+                writer.write_bits(lextra as u64, lbits);
+                let (di, dextra, dbits) = dist_code(dist);
+                writer.write_bits(dist_codes[di], dist_lengths[di]);
+                writer.write_bits(dextra as u64, dbits);
+            }
+        }
+    }
+    writer.write_bits(litlen_codes[EOB], litlen_lengths[EOB]);
+    out.extend_from_slice(&writer.finish());
+    out
+}
+
+/// Decompresses a tzip blob.
+///
+/// # Errors
+///
+/// Returns [`TzipError`] if the stream is truncated or malformed.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, TzipError> {
+    if data.len() < 4 {
+        return Err(TzipError::Truncated);
+    }
+    let expected_len =
+        u32::from_le_bytes(data[..4].try_into().expect("4 bytes checked")) as usize;
+    let mut pos = 4usize;
+    let litlen_lengths = read_lengths(data, &mut pos, NUM_LITLEN)?;
+    let dist_lengths = read_lengths(data, &mut pos, NUM_DIST)?;
+    let litlen_tree = DecodeTree::build(&litlen_lengths)?;
+    let dist_tree = DecodeTree::build(&dist_lengths)?;
+
+    let mut reader = BitReader::new(&data[pos..]);
+    let mut out = Vec::with_capacity(expected_len);
+    loop {
+        let sym = litlen_tree.decode(&mut reader)?;
+        if sym == EOB {
+            break;
+        }
+        if sym < 256 {
+            out.push(sym as u8);
+        } else {
+            let li = sym - 257;
+            if li >= 29 {
+                return Err(TzipError::Corrupt("bad length symbol"));
+            }
+            let len = LEN_BASE[li] as usize + reader.read_bits(LEN_EXTRA[li])? as usize;
+            let di = dist_tree.decode(&mut reader)?;
+            if di >= 30 {
+                return Err(TzipError::Corrupt("bad distance symbol"));
+            }
+            let dist = DIST_BASE[di] as usize + reader.read_bits(DIST_EXTRA[di])? as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(TzipError::Corrupt("distance beyond output"));
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        if out.len() > expected_len {
+            return Err(TzipError::Corrupt("output exceeds declared size"));
+        }
+    }
+    if out.len() != expected_len {
+        return Err(TzipError::Corrupt("output shorter than declared size"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tiptoe_math::rng::seeded_rng;
+
+    #[test]
+    fn roundtrip_simple_strings() {
+        for s in [
+            &b""[..],
+            b"a",
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            b"hello world hello world hello world",
+            b"abcabcabcabcabcabcabcabcabcabc",
+        ] {
+            let c = compress(s);
+            assert_eq!(decompress(&c).expect("valid stream"), s);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_bytes() {
+        let mut rng = seeded_rng(1);
+        for len in [1usize, 7, 100, 1000, 5000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let c = compress(&data);
+            assert_eq!(decompress(&c).expect("valid stream"), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_long_repetitive_data() {
+        // Exercises long matches (len 258) and large distances.
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(format!("https://example-{}.com/page/", i % 37).as_bytes());
+        }
+        let c = compress(&data);
+        assert_eq!(decompress(&c).expect("valid stream"), data);
+        assert!(c.len() < data.len() / 4, "repetitive data should compress 4x+");
+    }
+
+    #[test]
+    fn urls_compress_to_tens_of_bytes_each() {
+        // The paper's §5 claim: batching ~880 URLs gets ~22 bytes/URL.
+        let mut rng = seeded_rng(2);
+        let domains = ["example.com", "news.site.org", "shop.example.net", "blog.platform.io"];
+        let mut blob = Vec::new();
+        let n = 880;
+        for _ in 0..n {
+            let d = domains[rng.gen_range(0..domains.len())];
+            let url = format!(
+                "https://www.{}/articles/{}/section-{}/page-{}.html\n",
+                d,
+                rng.gen_range(1000..9999),
+                rng.gen_range(0..50),
+                rng.gen_range(0..1000),
+            );
+            blob.extend_from_slice(url.as_bytes());
+        }
+        let c = compress(&blob);
+        let per_url = c.len() as f64 / n as f64;
+        assert!(per_url < 35.0, "got {per_url:.1} bytes/URL");
+        assert_eq!(decompress(&c).expect("valid stream"), blob);
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let c = compress(b"some reasonably long input string for compression");
+        for cut in [0, 3, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn corrupt_declared_length_is_detected() {
+        let mut c = compress(b"hello hello hello");
+        c[0] ^= 0xff; // Mangle the declared size.
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn length_code_table_is_consistent() {
+        for len in MIN_MATCH as u16..=MAX_MATCH as u16 {
+            let (idx, extra, bits) = length_code(len);
+            assert!(idx < 29);
+            assert_eq!(LEN_BASE[idx] + (extra as u16), len);
+            assert!(extra < (1 << bits) || bits == 0 && extra == 0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dist_code_table_is_consistent() {
+        for dist in 1..=32768u32 {
+            let (idx, extra, bits) = dist_code(dist as u16);
+            assert!(idx < 30);
+            assert_eq!(DIST_BASE[idx] as u32 + extra, dist);
+            assert!(bits == 0 && extra == 0 || extra < (1 << bits), "dist {dist}");
+        }
+    }
+
+    #[test]
+    fn single_symbol_alphabet_roundtrips() {
+        let data = vec![b'x'; 500];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).expect("valid stream"), data);
+    }
+}

@@ -1,0 +1,434 @@
+//! Distributed point functions (DPFs) for Tiptoe's non-colluding
+//! two-server mode (paper §9, "Reducing communication with
+//! non-colluding services").
+//!
+//! "If instead the client can communicate with two search services
+//! assumed to be non-colluding, we can forgo the use of encryption to
+//! substantially reduce the communication costs. … the client would
+//! share an encoding of its query embedding (vector q̃ in Figure 10)
+//! using a distributed point function. The servers could execute the
+//! nearest-neighbor search protocol of §4 on a secret-shared query,
+//! instead of an encrypted one."
+//!
+//! This crate implements the tree-based DPF of Boyle–Gilboa–Ishai
+//! (CCS 2016): a *point function* `f_{α,β}` over a power-of-two domain
+//! is split into two keys such that (1) each key alone is
+//! computationally independent of `(α, β)` and (2) the two full
+//! evaluations are additive shares of the vector that is `β` at
+//! position `α` and zero elsewhere — exactly the Figure 10 query
+//! vector `q̃` when `β` is the client's quantized query block and `α`
+//! its cluster index.
+//!
+//! Shares and outputs live in `Z_{2^32}` (wrapping `u32` arithmetic),
+//! matching the plaintext matrix-vector kernels in `tiptoe-math`. The
+//! PRG is ChaCha12 (`rand::StdRng`) over 256-bit seeds; a production
+//! deployment would swap in fixed-key AES, which changes no interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use tiptoe_math::wire::{WireError, WireReader, WireWriter};
+
+/// A 256-bit PRG seed.
+pub type Seed = [u8; 32];
+
+/// One level's correction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CorrectionWord {
+    seed: Seed,
+    t_left: bool,
+    t_right: bool,
+}
+
+/// One party's DPF key.
+#[derive(Debug, Clone)]
+pub struct DpfKey {
+    /// Which party this key belongs to (0 or 1).
+    pub party: u8,
+    /// Domain height (`2^height` leaves).
+    height: u32,
+    /// Values per leaf (the block dimension).
+    block: usize,
+    root_seed: Seed,
+    correction: Vec<CorrectionWord>,
+    /// Output-layer correction word: converts the on-path leaf seeds'
+    /// pseudorandom blocks into additive shares of `β`.
+    leaf_cw: Vec<u32>,
+}
+
+impl DpfKey {
+    /// Wire size in bytes: party + height + root seed + per-level
+    /// correction words (32-byte seed + control-bit byte) + the leaf
+    /// correction block with its count prefix. This compactness is
+    /// what makes the §9 two-server upload ~1 MiB at C4 scale.
+    pub fn byte_len(&self) -> u64 {
+        2 + 32 + self.correction.len() as u64 * 33 + 4 + self.leaf_cw.len() as u64 * 4
+    }
+
+    /// Number of leaves in the domain.
+    pub fn domain_size(&self) -> usize {
+        1usize << self.height
+    }
+
+    /// Values per leaf.
+    pub fn block_len(&self) -> usize {
+        self.block
+    }
+
+    /// Serializes to the wire format (`encode().len() == byte_len()`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.byte_len() as usize);
+        w.put_u8(self.party);
+        w.put_u8(self.height as u8);
+        w.put_bytes(&self.root_seed);
+        for cw in &self.correction {
+            w.put_bytes(&cw.seed);
+            w.put_u8(u8::from(cw.t_left) | (u8::from(cw.t_right) << 1));
+        }
+        w.put_u32_slice(&self.leaf_cw);
+        w.finish()
+    }
+
+    /// Parses from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, invalid fields, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let party = r.get_u8()?;
+        if party > 1 {
+            return Err(WireError::Invalid("party"));
+        }
+        let height = r.get_u8()? as u32;
+        if height > 30 {
+            return Err(WireError::Invalid("domain height"));
+        }
+        let root_seed: Seed =
+            r.get_bytes(32)?.try_into().expect("fixed-size slice");
+        let mut correction = Vec::with_capacity(height as usize);
+        for _ in 0..height {
+            let seed: Seed = r.get_bytes(32)?.try_into().expect("fixed-size slice");
+            let bits = r.get_u8()?;
+            if bits > 3 {
+                return Err(WireError::Invalid("correction control bits"));
+            }
+            correction.push(CorrectionWord {
+                seed,
+                t_left: bits & 1 == 1,
+                t_right: bits & 2 == 2,
+            });
+        }
+        let leaf_cw = r.get_u32_slice()?;
+        if leaf_cw.is_empty() {
+            return Err(WireError::Invalid("empty leaf block"));
+        }
+        let block = leaf_cw.len();
+        r.finish()?;
+        Ok(Self { party, height, block, root_seed, correction, leaf_cw })
+    }
+}
+
+/// PRG: expands a seed into `(left_seed, t_left, right_seed, t_right)`.
+fn prg(seed: &Seed) -> (Seed, bool, Seed, bool) {
+    let mut rng = StdRng::from_seed(*seed);
+    let mut left = [0u8; 32];
+    let mut right = [0u8; 32];
+    rng.fill_bytes(&mut left);
+    rng.fill_bytes(&mut right);
+    let bits: u8 = rng.gen();
+    (left, bits & 1 == 1, right, bits & 2 == 2)
+}
+
+/// Expands a leaf seed into a pseudorandom output block ("Convert").
+fn leaf_block(seed: &Seed, block: usize) -> Vec<u32> {
+    // Domain-separate from the tree PRG by flipping a fixed byte.
+    let mut s = *seed;
+    s[0] ^= 0xa5;
+    let mut rng = StdRng::from_seed(s);
+    (0..block).map(|_| rng.gen()).collect()
+}
+
+fn xor_seed(a: &Seed, b: &Seed) -> Seed {
+    let mut out = [0u8; 32];
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+        *o = x ^ y;
+    }
+    out
+}
+
+/// Generates a DPF key pair for the point function over `2^height`
+/// leaves that equals `beta` (a block of `Z_{2^32}` values) at leaf
+/// `alpha` and zero elsewhere.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside the domain, `beta` is empty, or
+/// `height > 30`.
+pub fn generate<R: Rng + ?Sized>(
+    height: u32,
+    alpha: usize,
+    beta: &[u32],
+    rng: &mut R,
+) -> (DpfKey, DpfKey) {
+    assert!(height <= 30, "domain too large");
+    assert!(alpha < (1usize << height), "alpha outside the domain");
+    assert!(!beta.is_empty(), "beta must be nonempty");
+
+    let root0: Seed = rng.gen();
+    let root1: Seed = rng.gen();
+    let mut s0 = root0;
+    let mut s1 = root1;
+    let mut t0 = false;
+    let mut t1 = true;
+    let mut correction = Vec::with_capacity(height as usize);
+
+    for level in 0..height {
+        let bit = (alpha >> (height - 1 - level)) & 1 == 1;
+        let (l0, tl0, r0, tr0) = prg(&s0);
+        let (l1, tl1, r1, tr1) = prg(&s1);
+        // The "lose" direction (away from alpha) must collapse to
+        // equal seeds after correction; the "keep" direction stays
+        // pseudorandomly independent with unequal control bits.
+        let (lose0, lose1) = if bit { (l0, l1) } else { (r0, r1) };
+        let cw_seed = xor_seed(&lose0, &lose1);
+        let t_left = tl0 ^ tl1 ^ bit ^ true;
+        let t_right = tr0 ^ tr1 ^ bit;
+        correction.push(CorrectionWord { seed: cw_seed, t_left, t_right });
+
+        let (keep0, tk0) = if bit { (r0, tr0) } else { (l0, tl0) };
+        let (keep1, tk1) = if bit { (r1, tr1) } else { (l1, tl1) };
+        let cw_keep_t = if bit { t_right } else { t_left };
+        let next_s0 = if t0 { xor_seed(&keep0, &cw_seed) } else { keep0 };
+        let next_s1 = if t1 { xor_seed(&keep1, &cw_seed) } else { keep1 };
+        let next_t0 = tk0 ^ (t0 && cw_keep_t);
+        let next_t1 = tk1 ^ (t1 && cw_keep_t);
+        s0 = next_s0;
+        s1 = next_s1;
+        t0 = next_t0;
+        t1 = next_t1;
+    }
+
+    debug_assert_ne!(t0, t1, "on-path control bits must differ");
+    let v0 = leaf_block(&s0, beta.len());
+    let v1 = leaf_block(&s1, beta.len());
+    // CW = (-1)^{t1} · (β − Convert(s0) + Convert(s1)).
+    let leaf_cw: Vec<u32> = beta
+        .iter()
+        .zip(v0.iter().zip(v1.iter()))
+        .map(|(&b, (&x0, &x1))| {
+            let diff = b.wrapping_sub(x0).wrapping_add(x1);
+            if t1 {
+                diff.wrapping_neg()
+            } else {
+                diff
+            }
+        })
+        .collect();
+
+    let make = |party: u8, root_seed: Seed| DpfKey {
+        party,
+        height,
+        block: beta.len(),
+        root_seed,
+        correction: correction.clone(),
+        leaf_cw: leaf_cw.clone(),
+    };
+    (make(0, root0), make(1, root1))
+}
+
+/// Walks the tree from the root to leaf `x`, returning the final
+/// `(seed, control bit)`.
+fn walk(key: &DpfKey, x: usize) -> (Seed, bool) {
+    let mut s = key.root_seed;
+    let mut t = key.party == 1;
+    for level in 0..key.height {
+        let bit = (x >> (key.height - 1 - level)) & 1 == 1;
+        let cw = &key.correction[level as usize];
+        let (mut l, mut tl, mut r, mut tr) = prg(&s);
+        if t {
+            l = xor_seed(&l, &cw.seed);
+            r = xor_seed(&r, &cw.seed);
+            tl ^= cw.t_left;
+            tr ^= cw.t_right;
+        }
+        if bit {
+            s = r;
+            t = tr;
+        } else {
+            s = l;
+            t = tl;
+        }
+    }
+    (s, t)
+}
+
+/// Converts a final `(seed, t)` pair into this party's output share.
+fn share_from_leaf(key: &DpfKey, s: &Seed, t: bool) -> Vec<u32> {
+    let mut out = leaf_block(s, key.block);
+    if t {
+        for (o, &c) in out.iter_mut().zip(key.leaf_cw.iter()) {
+            *o = o.wrapping_add(c);
+        }
+    }
+    if key.party == 1 {
+        for o in out.iter_mut() {
+            *o = o.wrapping_neg();
+        }
+    }
+    out
+}
+
+/// Evaluates one party's share at leaf `x`
+/// (`eval(k0, x) + eval(k1, x) = f_{α,β}(x)` in `Z_{2^32}`).
+///
+/// # Panics
+///
+/// Panics if `x` is outside the domain.
+pub fn eval(key: &DpfKey, x: usize) -> Vec<u32> {
+    assert!(x < key.domain_size(), "point outside the domain");
+    let (s, t) = walk(key, x);
+    share_from_leaf(key, &s, t)
+}
+
+/// Evaluates one party's shares at *every* leaf, concatenated
+/// (`2^height · block` values) — the expanded query-vector share `q̃_w`
+/// the server feeds into its plaintext matrix-vector product.
+pub fn full_eval(key: &DpfKey) -> Vec<u32> {
+    let mut out = Vec::with_capacity(key.domain_size() * key.block);
+    // Depth-first expansion, reusing interior PRG calls (2x faster
+    // than 2^h independent walks).
+    let mut stack: Vec<(Seed, bool, u32)> = vec![(key.root_seed, key.party == 1, 0)];
+    while let Some((s, t, depth)) = stack.pop() {
+        if depth == key.height {
+            out.extend(share_from_leaf(key, &s, t));
+            continue;
+        }
+        let cw = &key.correction[depth as usize];
+        let (mut l, mut tl, mut r, mut tr) = prg(&s);
+        if t {
+            l = xor_seed(&l, &cw.seed);
+            r = xor_seed(&r, &cw.seed);
+            tl ^= cw.t_left;
+            tr ^= cw.t_right;
+        }
+        // Push right first so the left subtree pops first (in-order).
+        stack.push((r, tr, depth + 1));
+        stack.push((l, tl, depth + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn reconstruct(k0: &DpfKey, k1: &DpfKey, x: usize) -> Vec<u32> {
+        eval(k0, x)
+            .into_iter()
+            .zip(eval(k1, x))
+            .map(|(a, b)| a.wrapping_add(b))
+            .collect()
+    }
+
+    #[test]
+    fn point_function_reconstructs_everywhere() {
+        let mut rng = seeded_rng(1);
+        let beta = vec![7u32, 0xdead_beef, 1u32.wrapping_neg()];
+        for height in [1u32, 2, 3, 5] {
+            for alpha in [0usize, 1, (1 << height) - 1] {
+                let (k0, k1) = generate(height, alpha, &beta, &mut rng);
+                for x in 0..1usize << height {
+                    let got = reconstruct(&k0, &k1, x);
+                    let want = if x == alpha { beta.clone() } else { vec![0; 3] };
+                    assert_eq!(got, want, "h={height} α={alpha} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_eval_matches_pointwise_eval() {
+        let mut rng = seeded_rng(2);
+        let beta = vec![42u32; 4];
+        let (k0, k1) = generate(4, 11, &beta, &mut rng);
+        let f0 = full_eval(&k0);
+        let f1 = full_eval(&k1);
+        assert_eq!(f0.len(), 16 * 4);
+        for x in 0..16 {
+            assert_eq!(&f0[x * 4..(x + 1) * 4], &eval(&k0, x)[..]);
+            assert_eq!(&f1[x * 4..(x + 1) * 4], &eval(&k1, x)[..]);
+        }
+        // Sum of full evaluations is the unit-block vector.
+        for x in 0..16 {
+            for j in 0..4 {
+                let sum = f0[x * 4 + j].wrapping_add(f1[x * 4 + j]);
+                assert_eq!(sum, if x == 11 { 42 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn single_share_is_not_the_plaintext() {
+        // Each party's expanded share must look nothing like the
+        // point function: almost all entries nonzero.
+        let mut rng = seeded_rng(3);
+        let (k0, k1) = generate(6, 5, &[1u32], &mut rng);
+        for key in [&k0, &k1] {
+            let share = full_eval(key);
+            let zeros = share.iter().filter(|&&x| x == 0).count();
+            assert!(zeros <= 2, "share leaks structure: {zeros} zeros of {}", share.len());
+        }
+    }
+
+    #[test]
+    fn shares_of_different_alphas_have_identical_sizes() {
+        let mut rng = seeded_rng(4);
+        let beta = vec![9u32; 8];
+        let (a0, _) = generate(7, 3, &beta, &mut rng);
+        let (b0, _) = generate(7, 120, &beta, &mut rng);
+        assert_eq!(a0.byte_len(), b0.byte_len());
+        assert_eq!(a0.domain_size(), 128);
+        assert_eq!(a0.block_len(), 8);
+    }
+
+    #[test]
+    fn key_size_is_logarithmic_in_the_domain() {
+        let mut rng = seeded_rng(5);
+        let beta = vec![1u32; 192];
+        let (small, _) = generate(4, 1, &beta, &mut rng);
+        let (large, _) = generate(20, 1, &beta, &mut rng);
+        // 16 extra levels cost 16 x 33 bytes.
+        assert_eq!(large.byte_len() - small.byte_len(), 16 * 33);
+        // The paper's estimate: a key at C ~= 2^20 clusters with a
+        // 192-dim block is around a kilobyte.
+        assert!(large.byte_len() < 2048, "key too large: {}", large.byte_len());
+    }
+
+    #[test]
+    fn key_wire_roundtrip() {
+        let mut rng = seeded_rng(7);
+        let beta = vec![17u32, 0xffff_0001];
+        let (k0, k1) = generate(5, 19, &beta, &mut rng);
+        for key in [&k0, &k1] {
+            let bytes = key.encode();
+            assert_eq!(bytes.len() as u64, key.byte_len());
+            let back = DpfKey::decode(&bytes).expect("decodes");
+            assert_eq!(back.party, key.party);
+            for x in 0..32 {
+                assert_eq!(eval(&back, x), eval(key, x));
+            }
+            assert!(DpfKey::decode(&bytes[..bytes.len() - 2]).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the domain")]
+    fn oob_alpha_rejected() {
+        let mut rng = seeded_rng(6);
+        let _ = generate(3, 8, &[1u32], &mut rng);
+    }
+}

@@ -1,0 +1,140 @@
+//! The synthetic joint text/image embedding space.
+//!
+//! Stands in for CLIP (paper §7): text and images map into one
+//! 512-dimensional space so that a caption and its image land nearby.
+//! Real CLIP inference is unavailable here, so "images" carry a latent
+//! vector derived from their (discarded) caption plus bounded noise —
+//! the structure of the LAION-400M experiment, where each image's
+//! ground-truth neighborhood is defined by its caption (see
+//! `DESIGN.md` §2). The text-to-image pipeline downstream is exercised
+//! unchanged: a different dimension, a different modality on the
+//! server side, the same private ranking protocol.
+
+use rand::Rng;
+use tiptoe_math::rng::{derive_seed, seeded_rng};
+
+use crate::text::TextEmbedder;
+use crate::vector::{add_assign, normalize, scale};
+use crate::Embedder;
+
+/// A simulated image: its identifier plus its position in the joint
+/// embedding space.
+#[derive(Debug, Clone)]
+pub struct SyntheticImage {
+    /// Stable identifier (e.g. a URL).
+    pub id: String,
+    /// The image's latent vector in the joint space.
+    pub latent: Vec<f32>,
+}
+
+/// The synthetic CLIP-like model: a text tower plus an image "tower"
+/// that perturbs the caption embedding.
+#[derive(Debug, Clone)]
+pub struct ClipLikeEmbedder {
+    text_tower: TextEmbedder,
+    noise: f32,
+    seed: u64,
+}
+
+impl ClipLikeEmbedder {
+    /// The paper's image configuration: 512 dimensions.
+    pub fn paper_image(seed: u64) -> Self {
+        Self::new(512, seed, 0.35)
+    }
+
+    /// A custom configuration; `noise` controls how far an image
+    /// drifts from its caption (0 = identical).
+    pub fn new(dim: usize, seed: u64, noise: f32) -> Self {
+        Self {
+            text_tower: TextEmbedder::new(dim, derive_seed(seed, 1), 0),
+            noise,
+            seed,
+        }
+    }
+
+    /// "Runs the image tower": produces the latent vector of the image
+    /// described by `caption`, deterministically per `(seed, image_id)`.
+    pub fn embed_image(&self, image_id: u64, caption: &str) -> SyntheticImage {
+        let mut latent = self.text_tower.embed_text(caption);
+        let mut rng = seeded_rng(derive_seed(self.seed, image_id ^ 0x1111_2222));
+        let mut noise_vec: Vec<f32> =
+            (0..latent.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        normalize(&mut noise_vec);
+        scale(&mut noise_vec, self.noise);
+        add_assign(&mut latent, &noise_vec);
+        normalize(&mut latent);
+        SyntheticImage { id: format!("img-{image_id}"), latent }
+    }
+}
+
+impl Embedder for ClipLikeEmbedder {
+    fn dim(&self) -> usize {
+        self.text_tower.dim()
+    }
+
+    fn embed_text(&self, text: &str) -> Vec<f32> {
+        self.text_tower.embed_text(text)
+    }
+
+    fn model_bytes(&self) -> u64 {
+        // CLIP ViT-B/32 checkpoints are ~600 MiB; the client downloads
+        // the text tower only, comparable to the paper's 0.59 GiB.
+        590 << 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    #[test]
+    fn caption_retrieves_its_own_image() {
+        let clip = ClipLikeEmbedder::new(256, 3, 0.3);
+        let captions = [
+            "a train is next to an enclosed train station",
+            "a man and a woman pose next to a small dog",
+            "a young man wearing a tie and a blue shirt",
+            "fresh vegetables on a wooden kitchen table",
+        ];
+        let images: Vec<SyntheticImage> = captions
+            .iter()
+            .enumerate()
+            .map(|(i, c)| clip.embed_image(i as u64, c))
+            .collect();
+        for (i, c) in captions.iter().enumerate() {
+            let q = clip.embed_text(c);
+            let best = images
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    dot(&q, &a.1.latent).partial_cmp(&dot(&q, &b.1.latent)).expect("no NaN")
+                })
+                .expect("nonempty")
+                .0;
+            assert_eq!(best, i, "caption {i} should retrieve image {i}");
+        }
+    }
+
+    #[test]
+    fn image_latents_are_unit_norm() {
+        let clip = ClipLikeEmbedder::new(128, 4, 0.5);
+        let img = clip.embed_image(9, "a cat on a sofa");
+        assert!((crate::vector::norm(&img.latent) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn image_embedding_is_deterministic() {
+        let clip = ClipLikeEmbedder::new(128, 4, 0.5);
+        let a = clip.embed_image(1, "a bridge at sunset");
+        let b = clip.embed_image(1, "a bridge at sunset");
+        assert_eq!(a.latent, b.latent);
+        let c = clip.embed_image(2, "a bridge at sunset");
+        assert_ne!(a.latent, c.latent, "different images of the same scene differ");
+    }
+
+    #[test]
+    fn paper_image_model_has_512_dims() {
+        assert_eq!(ClipLikeEmbedder::paper_image(0).dim(), 512);
+    }
+}

@@ -1,0 +1,270 @@
+//! Principal component analysis for embedding dimensionality reduction
+//! (paper §7: 768→192 for text, 512→384 for images).
+//!
+//! The client downloads the projection (0.6 MiB in the paper) and
+//! applies it locally to its query embedding before any interaction
+//! with the Tiptoe services.
+//!
+//! Because Tiptoe ranks by *inner product*, we diagonalize the
+//! **uncentered second-moment matrix** `E[x·xᵀ]` rather than the
+//! covariance: projecting onto its top-k eigenvectors is the rank-k
+//! linear map that best preserves inner products on average (centering
+//! first would shift every inner product by a query-dependent
+//! constant). Eigenvectors are computed by block (orthogonal) power
+//! iteration over a corpus subsample, as the paper's batch jobs do.
+
+use rand::Rng;
+use tiptoe_math::rng::seeded_rng;
+
+/// A fitted PCA projection to `k` dimensions.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Row-major `k × d` orthonormal component matrix.
+    components: Vec<Vec<f32>>,
+    /// Eigenvalues (descending), for explained-variance diagnostics.
+    eigenvalues: Vec<f32>,
+    input_dim: usize,
+}
+
+impl Pca {
+    /// Fits a `k`-dimensional projection from sample vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, dimensions are inconsistent, or
+    /// `k` exceeds the input dimension.
+    pub fn fit(samples: &[Vec<f32>], k: usize, seed: u64) -> Self {
+        assert!(!samples.is_empty(), "PCA needs at least one sample");
+        let d = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == d), "inconsistent sample dimensions");
+        assert!(k >= 1 && k <= d, "component count out of range");
+
+        // Second-moment matrix in f64 for numerical stability.
+        let mut c = vec![0.0f64; d * d];
+        for s in samples {
+            for i in 0..d {
+                let si = s[i] as f64;
+                if si == 0.0 {
+                    continue;
+                }
+                let row = &mut c[i * d..(i + 1) * d];
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x += si * s[j] as f64;
+                }
+            }
+        }
+        let inv_n = 1.0 / samples.len() as f64;
+        for x in c.iter_mut() {
+            *x *= inv_n;
+        }
+
+        // Block power iteration: Q <- orth(C·Q).
+        let mut rng = seeded_rng(seed);
+        let mut q: Vec<Vec<f64>> =
+            (0..k).map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        orthonormalize(&mut q);
+        let iters = 30;
+        let mut z: Vec<Vec<f64>> = vec![vec![0.0; d]; k];
+        for _ in 0..iters {
+            for (zi, qi) in z.iter_mut().zip(q.iter()) {
+                matvec_sym(&c, d, qi, zi);
+            }
+            std::mem::swap(&mut q, &mut z);
+            orthonormalize(&mut q);
+        }
+
+        // Rayleigh quotients as eigenvalue estimates; sort descending.
+        let mut pairs: Vec<(f64, Vec<f64>)> = q
+            .into_iter()
+            .map(|qi| {
+                let mut cq = vec![0.0; d];
+                matvec_sym(&c, d, &qi, &mut cq);
+                let lambda = qi.iter().zip(cq.iter()).map(|(&a, &b)| a * b).sum::<f64>();
+                (lambda, qi)
+            })
+            .collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN eigenvalues"));
+
+        Self {
+            eigenvalues: pairs.iter().map(|(l, _)| *l as f32).collect(),
+            components: pairs
+                .into_iter()
+                .map(|(_, v)| v.into_iter().map(|x| x as f32).collect())
+                .collect(),
+            input_dim: d,
+        }
+    }
+
+    /// Output dimension `k`.
+    pub fn output_dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Input dimension `d`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Eigenvalue estimates (descending).
+    pub fn eigenvalues(&self) -> &[f32] {
+        &self.eigenvalues
+    }
+
+    /// Projects a vector into the component space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the input dimension.
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.input_dim, "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| c.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Lifts a reduced vector back into the input space via the
+    /// transpose of the (orthonormal) component matrix — the
+    /// minimum-norm preimage of [`Self::project`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced.len()` differs from the output dimension.
+    pub fn lift(&self, reduced: &[f32]) -> Vec<f32> {
+        assert_eq!(reduced.len(), self.output_dim(), "dimension mismatch");
+        let mut out = vec![0.0f32; self.input_dim];
+        for (c, &coef) in self.components.iter().zip(reduced.iter()) {
+            for (o, &v) in out.iter_mut().zip(c.iter()) {
+                *o += coef * v;
+            }
+        }
+        out
+    }
+
+    /// Size of the serialized projection in bytes (`k·d` f32 values —
+    /// the client download the paper reports as 0.6 MiB).
+    pub fn projection_bytes(&self) -> u64 {
+        (self.output_dim() * self.input_dim * 4) as u64
+    }
+}
+
+/// `out = C·v` for a symmetric row-major `d×d` matrix.
+fn matvec_sym(c: &[f64], d: usize, v: &[f64], out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &c[i * d..(i + 1) * d];
+        *o = row.iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+    }
+}
+
+/// In-place modified Gram-Schmidt.
+fn orthonormalize(q: &mut [Vec<f64>]) {
+    for i in 0..q.len() {
+        for j in 0..i {
+            let proj: f64 = q[i].iter().zip(q[j].iter()).map(|(&a, &b)| a * b).sum();
+            let (left, right) = q.split_at_mut(i);
+            for (x, &y) in right[0].iter_mut().zip(left[j].iter()) {
+                *x -= proj * y;
+            }
+        }
+        let n: f64 = q[i].iter().map(|&x| x * x).sum::<f64>().sqrt();
+        if n > 1e-12 {
+            for x in q[i].iter_mut() {
+                *x /= n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    /// Synthetic low-rank data: points near a 3-dimensional subspace
+    /// of a 16-dimensional space.
+    fn low_rank_samples(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = seeded_rng(seed);
+        let basis: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        (0..n)
+            .map(|_| {
+                let mut v = vec![0.0f32; 16];
+                for b in &basis {
+                    let c = rng.gen_range(-1.0f32..1.0);
+                    for (x, &y) in v.iter_mut().zip(b.iter()) {
+                        *x += c * y;
+                    }
+                }
+                for x in v.iter_mut() {
+                    *x += rng.gen_range(-0.01f32..0.01);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let samples = low_rank_samples(200, 1);
+        let pca = Pca::fit(&samples, 4, 2);
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = dot(&pca.components[i], &pca.components[j]);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-4, "Q[{i}]·Q[{j}] = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_rank_data_reconstructs_through_top_components() {
+        let samples = low_rank_samples(300, 3);
+        let pca = Pca::fit(&samples, 3, 4);
+        // Inner products must be preserved through the rank-3 projection.
+        for pair in samples.windows(2).take(20) {
+            let orig = dot(&pair[0], &pair[1]);
+            let proj = dot(&pca.project(&pair[0]), &pca.project(&pair[1]));
+            assert!((orig - proj).abs() < 0.05, "orig {orig} vs projected {proj}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_descending() {
+        let samples = low_rank_samples(300, 5);
+        let pca = Pca::fit(&samples, 5, 6);
+        for w in pca.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-6, "eigenvalues not sorted: {:?}", pca.eigenvalues());
+        }
+        // Rank-3 data: 4th and 5th eigenvalues are noise-level.
+        assert!(pca.eigenvalues()[3] < pca.eigenvalues()[0] * 0.01);
+    }
+
+    #[test]
+    fn lift_is_a_right_inverse_of_project() {
+        let samples = low_rank_samples(200, 11);
+        let pca = Pca::fit(&samples, 3, 12);
+        let reduced = pca.project(&samples[0]);
+        let lifted = pca.lift(&reduced);
+        let reprojected = pca.project(&lifted);
+        for (a, b) in reduced.iter().zip(reprojected.iter()) {
+            assert!((a - b).abs() < 1e-4, "project(lift(x)) must equal x");
+        }
+    }
+
+    #[test]
+    fn projection_bytes_matches_shape() {
+        let samples = low_rank_samples(50, 7);
+        let pca = Pca::fit(&samples, 4, 8);
+        assert_eq!(pca.projection_bytes(), (4 * 16 * 4) as u64);
+        assert_eq!(pca.output_dim(), 4);
+        assert_eq!(pca.input_dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_components_rejected() {
+        let samples = low_rank_samples(10, 9);
+        let _ = Pca::fit(&samples, 17, 10);
+    }
+}

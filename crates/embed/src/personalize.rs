@@ -1,0 +1,129 @@
+//! Personalized search (paper §9, "Personalized search").
+//!
+//! "Tiptoe could potentially support personalized search by
+//! incorporating a client-side embedding function that takes as input
+//! not only the user's query, but also the user's search profile. …
+//! The servers could continue using their embedding function that does
+//! not take a search profile as input."
+//!
+//! [`PersonalizedEmbedder`] is exactly that client-side function: it
+//! wraps any base [`Embedder`] and blends a private profile vector
+//! into the query embedding before normalization. Nothing server-side
+//! changes — the profile never leaves the client (it only shifts which
+//! ciphertext the client sends, which the server cannot read anyway).
+
+use crate::vector::{add_assign, normalize, scale};
+use crate::Embedder;
+
+/// A client-side embedder that mixes a private profile into every
+/// query embedding.
+#[derive(Debug, Clone)]
+pub struct PersonalizedEmbedder<E: Embedder> {
+    base: E,
+    profile: Vec<f32>,
+    /// Blend weight in `[0, 1]`: 0 = no personalization, 1 = profile
+    /// only.
+    weight: f32,
+}
+
+impl<E: Embedder> PersonalizedEmbedder<E> {
+    /// Wraps `base` with a profile vector (e.g. the mean embedding of
+    /// the user's location, language, or recent interests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile dimension differs from the base model's
+    /// or `weight` is outside `[0, 1]`.
+    pub fn new(base: E, mut profile: Vec<f32>, weight: f32) -> Self {
+        assert_eq!(profile.len(), base.dim(), "profile dimension mismatch");
+        assert!((0.0..=1.0).contains(&weight), "weight out of range");
+        normalize(&mut profile);
+        Self { base, profile, weight }
+    }
+
+    /// Replaces the profile (e.g. when the user moves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the base model's.
+    pub fn set_profile(&mut self, mut profile: Vec<f32>) {
+        assert_eq!(profile.len(), self.base.dim(), "profile dimension mismatch");
+        normalize(&mut profile);
+        self.profile = profile;
+    }
+
+    /// The wrapped base model.
+    pub fn base(&self) -> &E {
+        &self.base
+    }
+}
+
+impl<E: Embedder> Embedder for PersonalizedEmbedder<E> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn embed_text(&self, text: &str) -> Vec<f32> {
+        let mut q = self.base.embed_text(text);
+        scale(&mut q, 1.0 - self.weight);
+        let mut p = self.profile.clone();
+        scale(&mut p, self.weight);
+        add_assign(&mut q, &p);
+        normalize(&mut q);
+        q
+    }
+
+    fn model_bytes(&self) -> u64 {
+        // The profile lives client-side; the download is the base model.
+        self.base.model_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::TextEmbedder;
+    use crate::vector::dot;
+
+    #[test]
+    fn profile_pulls_queries_toward_profile_topics() {
+        let base = TextEmbedder::new(128, 3, 0);
+        let profile = base.embed_text("vegetarian restaurants in tokyo japan");
+        let personalized = PersonalizedEmbedder::new(base.clone(), profile.clone(), 0.4);
+
+        let plain = base.embed_text("restaurants");
+        let shifted = personalized.embed_text("restaurants");
+        assert!(
+            dot(&shifted, &profile) > dot(&plain, &profile) + 0.05,
+            "personalization must move the query toward the profile"
+        );
+    }
+
+    #[test]
+    fn zero_weight_is_the_base_model() {
+        let base = TextEmbedder::new(64, 4, 0);
+        let profile = base.embed_text("anything");
+        let personalized = PersonalizedEmbedder::new(base.clone(), profile, 0.0);
+        let a = base.embed_text("knee pain");
+        let b = personalized.embed_text("knee pain");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn outputs_stay_unit_norm() {
+        let base = TextEmbedder::new(64, 5, 0);
+        let profile = base.embed_text("cycling routes");
+        let personalized = PersonalizedEmbedder::new(base, profile, 0.7);
+        let v = personalized.embed_text("weekend plans");
+        assert!((crate::vector::norm(&v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_profile_dimension_rejected() {
+        let base = TextEmbedder::new(64, 6, 0);
+        let _ = PersonalizedEmbedder::new(base, vec![0.0; 32], 0.5);
+    }
+}

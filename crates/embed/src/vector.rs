@@ -1,0 +1,100 @@
+//! Dense `f32` vector helpers shared by the embedding, clustering, and
+//! retrieval components.
+
+/// Inner (dot) product.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Normalizes to unit L2 norm in place (no-op for the zero vector).
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// `a += b`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += y;
+    }
+}
+
+/// `a *= c`.
+pub fn scale(a: &mut [f32], c: f32) {
+    for x in a.iter_mut() {
+        *x *= c;
+    }
+}
+
+/// The element-wise mean of a set of vectors.
+///
+/// # Panics
+///
+/// Panics if `vs` is empty or dimensions differ.
+pub fn mean(vs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "mean of empty set");
+    let mut out = vec![0.0; vs[0].len()];
+    for v in vs {
+        add_assign(&mut out, v);
+    }
+    scale(&mut out, 1.0 / vs.len() as f32);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_basics() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_vector() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_two_vectors() {
+        let a = [1.0f32, 3.0];
+        let b = [3.0f32, 5.0];
+        assert_eq!(mean(&[&a, &b]), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The BM25 baseline with the Anserini default parameters the paper
+//! uses (`k1 = 0.9`, `b = 0.4`; §8.2).
+
+use std::collections::HashMap;
+
+use crate::index::InvertedIndex;
+use crate::topk::TopK;
+use crate::{analyze, Retriever, SearchHit};
+
+/// BM25 retriever.
+pub struct Bm25 {
+    index: InvertedIndex,
+    k1: f32,
+    b: f32,
+}
+
+impl Bm25 {
+    /// Builds BM25 with the paper's parameters (`k1 = 0.9`, `b = 0.4`).
+    pub fn build<S: AsRef<str>>(docs: &[S]) -> Self {
+        Self::with_params(InvertedIndex::build(docs), 0.9, 0.4)
+    }
+
+    /// Builds BM25 with explicit parameters.
+    pub fn with_params(index: InvertedIndex, k1: f32, b: f32) -> Self {
+        Self { index, k1, b }
+    }
+
+    /// Robertson-Sparck-Jones IDF with the +1 smoothing Lucene uses.
+    fn idf(&self, term: &str) -> f32 {
+        let n = self.index.num_docs() as f32;
+        let df = self.index.doc_freq(term) as f32;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+}
+
+impl Retriever for Bm25 {
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let avgdl = self.index.avg_doc_len().max(1e-9);
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        for term in analyze(query) {
+            let Some(postings) = self.index.postings(&term) else {
+                continue;
+            };
+            let idf = self.idf(&term);
+            for p in postings {
+                let tf = p.tf as f32;
+                let dl = self.index.doc_len(p.doc) as f32;
+                let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avgdl);
+                *scores.entry(p.doc).or_insert(0.0) += idf * tf * (self.k1 + 1.0) / denom;
+            }
+        }
+        let mut top = TopK::new(k);
+        for (doc, score) in scores {
+            top.push(SearchHit { doc, score });
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "knee pain treatment and physical therapy exercises for knee injuries",
+            "quarterly tax filing deadlines for corporations",
+            "how to treat chronic knee pain in runners",
+            "a very long document about many different topics including weather sports \
+             politics cooking travel music films books and more with pain mentioned once",
+        ]
+    }
+
+    #[test]
+    fn relevant_documents_outrank_irrelevant() {
+        let bm25 = Bm25::build(&corpus());
+        let hits = bm25.search("knee pain", 4);
+        assert!(matches!(hits[0].doc, 0 | 2));
+        let tax_rank = hits.iter().position(|h| h.doc == 1);
+        assert!(tax_rank.is_none(), "tax doc matched 'knee pain': {hits:?}");
+    }
+
+    #[test]
+    fn length_normalization_penalizes_long_documents() {
+        let bm25 = Bm25::build(&corpus());
+        let hits = bm25.search("pain", 4);
+        let long_doc = hits.iter().find(|h| h.doc == 3).expect("long doc matches");
+        let short_doc = hits.iter().find(|h| h.doc == 2).expect("short doc matches");
+        assert!(short_doc.score > long_doc.score, "length normalization inactive");
+    }
+
+    #[test]
+    fn idf_is_positive_even_for_ubiquitous_terms() {
+        // Lucene's +1 smoothing keeps IDF positive.
+        let docs = vec!["common word", "common word", "common word"];
+        let bm25 = Bm25::build(&docs);
+        let hits = bm25.search("common", 3);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.score > 0.0));
+    }
+
+    #[test]
+    fn k_limits_result_count() {
+        let bm25 = Bm25::build(&corpus());
+        assert!(bm25.search("pain", 1).len() <= 1);
+    }
+}

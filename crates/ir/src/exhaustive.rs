@@ -1,0 +1,111 @@
+//! Exhaustive (un-clustered) embedding search — the "Embeddings"
+//! baseline of Figure 4, which upper-bounds what Tiptoe's clustered
+//! search can achieve with the same embedding model.
+
+use tiptoe_embed::vector::dot;
+use tiptoe_embed::Embedder;
+
+use crate::topk::TopK;
+use crate::{Retriever, SearchHit};
+
+/// Brute-force inner-product search over stored document embeddings.
+pub struct ExhaustiveSearch<'a, E: Embedder> {
+    embedder: &'a E,
+    docs: Vec<Vec<f32>>,
+}
+
+impl<'a, E: Embedder> ExhaustiveSearch<'a, E> {
+    /// Indexes documents by embedding each text.
+    pub fn build<S: AsRef<str>>(embedder: &'a E, docs: &[S]) -> Self {
+        let docs = docs.iter().map(|d| embedder.embed_text(d.as_ref())).collect();
+        Self { embedder, docs }
+    }
+
+    /// Wraps precomputed document embeddings (used when the caller has
+    /// already run the batch embedding job, applied PCA, or holds
+    /// image latents). The stored dimension may differ from the
+    /// embedder's raw dimension; only [`Self::search_embedding`] is
+    /// usable in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embeddings disagree with each other in dimension.
+    pub fn from_embeddings(embedder: &'a E, docs: Vec<Vec<f32>>) -> Self {
+        if let Some(first) = docs.first() {
+            assert!(docs.iter().all(|d| d.len() == first.len()), "dimension mismatch");
+        }
+        Self { embedder, docs }
+    }
+
+    /// Ranks all documents against a *precomputed* query embedding.
+    pub fn search_embedding(&self, query: &[f32], k: usize) -> Vec<SearchHit> {
+        let mut top = TopK::new(k);
+        for (doc, emb) in self.docs.iter().enumerate() {
+            top.push(SearchHit { doc: doc as u32, score: dot(query, emb) });
+        }
+        top.into_sorted()
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The stored embeddings.
+    pub fn embeddings(&self) -> &[Vec<f32>] {
+        &self.docs
+    }
+}
+
+impl<E: Embedder> Retriever for ExhaustiveSearch<'_, E> {
+    /// # Panics
+    ///
+    /// Panics if the stored embeddings are not in the embedder's raw
+    /// space (e.g. after PCA) — use [`ExhaustiveSearch::search_embedding`]
+    /// with a matching query embedding instead.
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if let Some(first) = self.docs.first() {
+            assert_eq!(first.len(), self.embedder.dim(), "stored embeddings are not raw");
+        }
+        self.search_embedding(&self.embedder.embed_text(query), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_embed::text::TextEmbedder;
+
+    #[test]
+    fn retrieves_lexically_closest_document() {
+        let embedder = TextEmbedder::new(256, 3, 0);
+        let docs = vec![
+            "recipes for italian pasta dishes with tomato sauce",
+            "the migration patterns of arctic birds",
+            "pasta cooking techniques and italian sauce recipes",
+        ];
+        let search = ExhaustiveSearch::build(&embedder, &docs);
+        let hits = search.search("italian pasta sauce recipes", 3);
+        assert_eq!(hits.len(), 3);
+        assert!(matches!(hits[0].doc, 0 | 2), "top hit {:?}", hits[0]);
+        assert_eq!(hits[2].doc, 1, "bird doc should rank last");
+    }
+
+    #[test]
+    fn precomputed_embeddings_match_text_path() {
+        let embedder = TextEmbedder::new(128, 4, 0);
+        let docs = vec!["alpha beta gamma", "delta epsilon zeta"];
+        let a = ExhaustiveSearch::build(&embedder, &docs);
+        let embs: Vec<Vec<f32>> = docs.iter().map(|d| embedder.embed_text(d)).collect();
+        let b = ExhaustiveSearch::from_embeddings(&embedder, embs);
+        let q = "beta gamma";
+        assert_eq!(a.search(q, 2), b.search(q, 2));
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let embedder = TextEmbedder::new(64, 5, 0);
+        let search = ExhaustiveSearch::build(&embedder, &["doc"]);
+        assert!(search.search("doc", 0).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Information-retrieval baselines and search-quality metrics
+//! (paper §8.2, Figure 4).
+//!
+//! The paper compares Tiptoe against:
+//!
+//! - **tf-idf** (with stemming, via Gensim in the paper) — implemented
+//!   in [`tfidf`], including the Coeus-style *restricted dictionary*
+//!   mode (top-K terms by inverse document frequency) whose MRR@100
+//!   collapses to 0 on MS MARCO;
+//! - **BM25** (Anserini defaults `k1 = 0.9`, `b = 0.4`) — [`bm25`];
+//! - **exhaustive embedding search** (the same embeddings as Tiptoe
+//!   but without clustering) — [`exhaustive`];
+//! - **ColBERT**, which the paper reports from the MS MARCO
+//!   leaderboard rather than running; the bench harness does the same.
+//!
+//! Quality is measured with MRR@100 ("mean reciprocal rank at 100")
+//! and the rank CDF of Figure 4 (right) — see [`metrics`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bm25;
+pub mod exhaustive;
+pub mod index;
+pub mod metrics;
+pub mod stem;
+pub mod tfidf;
+pub mod topk;
+
+/// Tokenizes and stems a text into index terms.
+pub fn analyze(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(stem::porter_stem)
+        .collect()
+}
+
+/// A ranked search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Document identifier.
+    pub doc: u32,
+    /// Retrieval score (higher is better).
+    pub score: f32,
+}
+
+/// A retrieval system that ranks documents for a text query.
+pub trait Retriever {
+    /// Returns the top-`k` documents, best first.
+    fn search(&self, query: &str, k: usize) -> Vec<SearchHit>;
+}

@@ -1,0 +1,178 @@
+//! Search-quality metrics: MRR@k and the rank CDF of Figure 4.
+
+use crate::SearchHit;
+
+/// Reciprocal rank of `relevant` within `hits` (1-indexed), or 0 if it
+/// does not appear in the top `k`.
+pub fn reciprocal_rank(hits: &[SearchHit], relevant: u32, k: usize) -> f64 {
+    hits.iter()
+        .take(k)
+        .position(|h| h.doc == relevant)
+        .map_or(0.0, |i| 1.0 / (i as f64 + 1.0))
+}
+
+/// The outcome of evaluating one retrieval system over a query set.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Mean reciprocal rank at the cutoff.
+    pub mrr: f64,
+    /// Cutoff `k` used (100 in the paper).
+    pub k: usize,
+    /// `ranks[i]` = 1-indexed rank of the relevant document for query
+    /// `i`, or `None` if it missed the top `k`.
+    pub ranks: Vec<Option<usize>>,
+}
+
+impl QualityReport {
+    /// Evaluates ranked result lists against one relevant document per
+    /// query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn evaluate(results: &[Vec<SearchHit>], relevant: &[u32], k: usize) -> Self {
+        assert_eq!(results.len(), relevant.len(), "one relevant doc per query");
+        let mut ranks = Vec::with_capacity(results.len());
+        let mut mrr_sum = 0.0;
+        for (hits, &rel) in results.iter().zip(relevant.iter()) {
+            let pos = hits.iter().take(k).position(|h| h.doc == rel);
+            if let Some(p) = pos {
+                mrr_sum += 1.0 / (p as f64 + 1.0);
+            }
+            ranks.push(pos.map(|p| p + 1));
+        }
+        let mrr = if results.is_empty() { 0.0 } else { mrr_sum / results.len() as f64 };
+        Self { mrr, k, ranks }
+    }
+
+    /// Fraction of queries whose relevant document appears at rank
+    /// ≤ `i` — one point of the Figure 4 (right) CDF.
+    pub fn cdf_at(&self, i: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let hit = self.ranks.iter().filter(|r| r.is_some_and(|rank| rank <= i)).count();
+        hit as f64 / self.ranks.len() as f64
+    }
+
+    /// The full CDF over ranks `1..=k`.
+    pub fn cdf(&self) -> Vec<f64> {
+        (1..=self.k).map(|i| self.cdf_at(i)).collect()
+    }
+
+    /// Mean rank of the relevant document among queries that found it
+    /// (the paper summarizes Tiptoe as "position 7.7 on average").
+    pub fn mean_found_rank(&self) -> f64 {
+        let found: Vec<f64> = self.ranks.iter().flatten().map(|&r| r as f64).collect();
+        if found.is_empty() {
+            0.0
+        } else {
+            found.iter().sum::<f64>() / found.len() as f64
+        }
+    }
+
+    /// Fraction of queries whose relevant document was found at all.
+    pub fn recall(&self) -> f64 {
+        self.cdf_at(self.k)
+    }
+
+    /// Recall at a smaller cutoff `k ≤ self.k`.
+    pub fn recall_at(&self, k: usize) -> f64 {
+        self.cdf_at(k.min(self.k))
+    }
+
+    /// Mean NDCG@k with a single relevant document per query
+    /// (`DCG = 1/log2(rank+1)`, ideal DCG = 1).
+    pub fn ndcg_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .ranks
+            .iter()
+            .map(|r| match r {
+                Some(rank) if *rank <= k => 1.0 / ((*rank as f64) + 1.0).log2(),
+                _ => 0.0,
+            })
+            .sum();
+        sum / self.ranks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(docs: &[u32]) -> Vec<SearchHit> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, &doc)| SearchHit { doc, score: 1.0 - i as f32 * 0.01 })
+            .collect()
+    }
+
+    #[test]
+    fn reciprocal_rank_basics() {
+        let h = hits(&[5, 3, 9]);
+        assert_eq!(reciprocal_rank(&h, 5, 100), 1.0);
+        assert_eq!(reciprocal_rank(&h, 3, 100), 0.5);
+        assert_eq!(reciprocal_rank(&h, 9, 2), 0.0, "beyond cutoff");
+        assert_eq!(reciprocal_rank(&h, 42, 100), 0.0, "absent");
+    }
+
+    #[test]
+    fn evaluate_averages_over_queries() {
+        let results = vec![hits(&[1, 2]), hits(&[3, 4]), hits(&[9, 9])];
+        let report = QualityReport::evaluate(&results, &[1, 4, 7], 100);
+        // RRs: 1.0, 0.5, 0.0 -> MRR 0.5.
+        assert!((report.mrr - 0.5).abs() < 1e-12);
+        assert_eq!(report.ranks, vec![Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_matches_recall() {
+        let results = vec![hits(&[1, 2, 3]), hits(&[2, 1, 3]), hits(&[3, 2, 1])];
+        let report = QualityReport::evaluate(&results, &[1, 1, 1], 3);
+        let cdf = report.cdf();
+        assert_eq!(cdf.len(), 3);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((report.recall() - 1.0).abs() < 1e-12);
+        assert!((report.cdf_at(1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_found_rank_ignores_misses() {
+        let results = vec![hits(&[1]), hits(&[9])];
+        let report = QualityReport::evaluate(&results, &[1, 2], 10);
+        assert_eq!(report.mean_found_rank(), 1.0);
+    }
+
+    #[test]
+    fn empty_query_set_is_well_behaved() {
+        let report = QualityReport::evaluate(&[], &[], 100);
+        assert_eq!(report.mrr, 0.0);
+        assert_eq!(report.cdf_at(1), 0.0);
+        assert_eq!(report.ndcg_at(10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_ranks() {
+        let top = QualityReport::evaluate(&[hits(&[1, 2, 3])], &[1], 10);
+        let second = QualityReport::evaluate(&[hits(&[2, 1, 3])], &[1], 10);
+        assert!((top.ndcg_at(10) - 1.0).abs() < 1e-12, "rank 1 is ideal");
+        assert!(second.ndcg_at(10) < top.ndcg_at(10));
+        assert!((second.ndcg_at(10) - 1.0 / 3f64.log2()).abs() < 1e-12);
+        // A miss beyond the cutoff contributes zero.
+        assert_eq!(second.ndcg_at(1), 0.0);
+    }
+
+    #[test]
+    fn recall_at_is_monotone_in_k() {
+        let results = vec![hits(&[5, 1]), hits(&[1, 9])];
+        let report = QualityReport::evaluate(&results, &[1, 1], 10);
+        assert!(report.recall_at(1) <= report.recall_at(2));
+        assert_eq!(report.recall_at(1), 0.5);
+        assert_eq!(report.recall_at(2), 1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! The paper's tf-idf baseline "uses the Gensim library for stemming
+//! and building the tf-idf matrix"; Gensim's stemmer is Porter's, so we
+//! implement the classic five-step algorithm. Operates on lowercase
+//! ASCII words; non-ASCII input is returned unchanged.
+
+/// Stems a lowercase word with Porter's algorithm.
+pub fn porter_stem(word: impl AsRef<str>) -> String {
+    let w = word.as_ref();
+    if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_lowercase()) {
+        return w.to_owned();
+    }
+    let mut b: Vec<u8> = w.bytes().collect();
+    step1a(&mut b);
+    step1b(&mut b);
+    step1c(&mut b);
+    step2(&mut b);
+    step3(&mut b);
+    step4(&mut b);
+    step5(&mut b);
+    String::from_utf8(b).expect("ASCII stays ASCII")
+}
+
+/// Is `b[i]` a consonant in Porter's sense?
+fn is_consonant(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(b, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's measure `m` of the stem `b[..len]`: the number of VC
+/// sequences in the C?(VC)^m V? decomposition.
+fn measure(b: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(b, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(b, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants (one VC found).
+        while i < len && is_consonant(b, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+/// Does the stem `b[..len]` contain a vowel?
+fn has_vowel(b: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(b, i))
+}
+
+/// Does `b[..len]` end in a double consonant?
+fn ends_double_consonant(b: &[u8], len: usize) -> bool {
+    len >= 2 && b[len - 1] == b[len - 2] && is_consonant(b, len - 1)
+}
+
+/// Does `b[..len]` end consonant-vowel-consonant, where the final
+/// consonant is not w, x, or y?
+fn ends_cvc(b: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(b, len - 3)
+        && !is_consonant(b, len - 2)
+        && is_consonant(b, len - 1)
+        && !matches!(b[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(b: &[u8], suffix: &str) -> bool {
+    b.ends_with(suffix.as_bytes())
+}
+
+/// If the word ends in `suffix` and the remaining stem has measure
+/// `> min_m`, replace the suffix with `replacement`; returns whether
+/// the suffix matched (regardless of the measure test).
+fn replace_if_m(b: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if !ends_with(b, suffix) {
+        return false;
+    }
+    let stem_len = b.len() - suffix.len();
+    if measure(b, stem_len) > min_m {
+        b.truncate(stem_len);
+        b.extend_from_slice(replacement.as_bytes());
+    }
+    true
+}
+
+fn step1a(b: &mut Vec<u8>) {
+    if ends_with(b, "sses") || ends_with(b, "ies") {
+        b.truncate(b.len() - 2);
+    } else if ends_with(b, "ss") {
+        // unchanged
+    } else if ends_with(b, "s") && b.len() > 1 {
+        b.truncate(b.len() - 1);
+    }
+}
+
+fn step1b(b: &mut Vec<u8>) {
+    if ends_with(b, "eed") {
+        if measure(b, b.len() - 3) > 0 {
+            b.truncate(b.len() - 1);
+        }
+        return;
+    }
+    let matched = if ends_with(b, "ed") && has_vowel(b, b.len() - 2) {
+        b.truncate(b.len() - 2);
+        true
+    } else if ends_with(b, "ing") && has_vowel(b, b.len() - 3) {
+        b.truncate(b.len() - 3);
+        true
+    } else {
+        false
+    };
+    if matched {
+        if ends_with(b, "at") || ends_with(b, "bl") || ends_with(b, "iz") {
+            b.push(b'e');
+        } else if ends_double_consonant(b, b.len())
+            && !matches!(b[b.len() - 1], b'l' | b's' | b'z')
+        {
+            b.truncate(b.len() - 1);
+        } else if measure(b, b.len()) == 1 && ends_cvc(b, b.len()) {
+            b.push(b'e');
+        }
+    }
+}
+
+fn step1c(b: &mut [u8]) {
+    if ends_with(b, "y") && b.len() > 1 && has_vowel(b, b.len() - 1) {
+        let last = b.len() - 1;
+        b[last] = b'i';
+    }
+}
+
+fn step2(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_m(b, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if_m(b, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(b: &mut Vec<u8>) {
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" requires a preceding s or t.
+    if ends_with(b, "ion") {
+        let stem_len = b.len() - 3;
+        if stem_len > 0 && matches!(b[stem_len - 1], b's' | b't') && measure(b, stem_len) > 1 {
+            b.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in RULES {
+        if ends_with(b, suffix) {
+            let stem_len = b.len() - suffix.len();
+            if measure(b, stem_len) > 1 {
+                b.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5(b: &mut Vec<u8>) {
+    // Step 5a.
+    if ends_with(b, "e") {
+        let stem_len = b.len() - 1;
+        let m = measure(b, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(b, stem_len)) {
+            b.truncate(stem_len);
+        }
+    }
+    // Step 5b.
+    if ends_with(b, "ll") && measure(b, b.len()) > 1 {
+        b.truncate(b.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_porter_examples() {
+        // Reference pairs from Porter's paper and the standard vocabulary.
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(porter_stem(input), want, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn related_word_forms_share_a_stem() {
+        assert_eq!(porter_stem("searching"), porter_stem("searched"));
+        assert_eq!(porter_stem("privacy"), porter_stem("privacy"));
+        assert_eq!(porter_stem("connection"), porter_stem("connections"));
+        assert_eq!(porter_stem("retrieving"), porter_stem("retrieves"));
+    }
+
+    #[test]
+    fn short_and_non_ascii_words_pass_through() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("héllo"), "héllo");
+        assert_eq!(porter_stem("abc123"), "abc123");
+    }
+}

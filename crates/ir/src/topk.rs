@@ -1,0 +1,113 @@
+//! A bounded top-k collector over `(score, doc)` pairs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SearchHit;
+
+/// Wrapper giving [`SearchHit`] a *min*-heap order on score (ties
+/// broken by document ID for determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinHit(SearchHit);
+
+impl Eq for MinHit {}
+
+impl Ord for MinHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on score: BinaryHeap is a max-heap and we want the
+        // *worst* retained hit on top. On ties, the larger doc ID is
+        // the worse hit (we prefer smaller IDs deterministically).
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.doc.cmp(&other.0.doc))
+    }
+}
+
+impl PartialOrd for MinHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Collects the `k` highest-scoring hits from a stream.
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<MinHit>,
+}
+
+impl TopK {
+    /// A collector retaining the best `k` hits.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers one hit.
+    pub fn push(&mut self, hit: SearchHit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinHit(hit));
+        } else if let Some(min) = self.heap.peek() {
+            let better = hit.score > min.0.score
+                || (hit.score == min.0.score && hit.doc < min.0.doc);
+            if better {
+                self.heap.pop();
+                self.heap.push(MinHit(hit));
+            }
+        }
+    }
+
+    /// The collected hits, best first.
+    pub fn into_sorted(self) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self.heap.into_iter().map(|m| m.0).collect();
+        hits.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.doc.cmp(&b.doc))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_best_k() {
+        let mut top = TopK::new(3);
+        for (doc, score) in [(0u32, 0.1f32), (1, 0.9), (2, 0.5), (3, 0.7), (4, 0.3)] {
+            top.push(SearchHit { doc, score });
+        }
+        let hits = top.into_sorted();
+        assert_eq!(hits.iter().map(|h| h.doc).collect::<Vec<_>>(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let mut top = TopK::new(2);
+        for doc in [5u32, 1, 3] {
+            top.push(SearchHit { doc, score: 1.0 });
+        }
+        let hits = top.into_sorted();
+        assert_eq!(hits.iter().map(|h| h.doc).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_k_collects_nothing() {
+        let mut top = TopK::new(0);
+        top.push(SearchHit { doc: 0, score: 1.0 });
+        assert!(top.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut top = TopK::new(10);
+        top.push(SearchHit { doc: 7, score: 0.5 });
+        let hits = top.into_sorted();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 7);
+    }
+}

@@ -1,0 +1,509 @@
+//! The Regev encryption scheme with preprocessing (paper Appendix A.1).
+//!
+//! Algorithms, with `A` the seed-expanded public matrix, `s` a ternary
+//! secret, `e` Gaussian noise, and `Δ = ⌊q/p⌋`:
+//!
+//! ```text
+//! Enc(s, v)        c  = A·s + e + Δ·v           ∈ Z_q^m
+//! Preproc(M)       H  = M·A                      ∈ Z_q^{ℓ×n}
+//! Apply(M, c)      c' = M·c                      ∈ Z_q^ℓ
+//! Dec(s, H, c')    v' = round_p(c' - H·s) mod p  ∈ Z_p^ℓ
+//! ```
+//!
+//! Correctness: `c' - H·s = M·e + Δ·(M·v)`, and the rounding removes
+//! `M·e` as long as it stays below `Δ/2` (enforced by the parameter
+//! selection in [`crate::params`]).
+
+use rand::Rng;
+use tiptoe_math::matrix::{matvec, matvec_wide, Mat};
+use tiptoe_math::nibble::NibbleMat;
+use tiptoe_math::sample::{gaussian_i64, ternary_vec};
+use tiptoe_math::wire::{WireError, WireReader, WireWriter};
+use tiptoe_math::zq::Word;
+
+use crate::matrix_a::{MatrixA, MatrixARange};
+use crate::params::LweParams;
+
+/// A ternary LWE secret key embedded into `Z_q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LweSecretKey<W: Word> {
+    s: Vec<W>,
+}
+
+impl<W: Word> LweSecretKey<W> {
+    /// Samples a fresh ternary secret of dimension `params.n`.
+    pub fn generate<R: Rng + ?Sized>(params: &LweParams, rng: &mut R) -> Self {
+        let s = ternary_vec(rng, params.n).into_iter().map(W::from_i64).collect();
+        Self { s }
+    }
+
+    /// Builds a key from explicit ternary entries (used by the outer
+    /// scheme, which must encrypt this same vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is outside `{-1, 0, 1}` or the length
+    /// differs from `params.n`.
+    pub fn from_ternary(params: &LweParams, entries: &[i64]) -> Self {
+        assert_eq!(entries.len(), params.n, "secret dimension mismatch");
+        assert!(
+            entries.iter().all(|&x| (-1..=1).contains(&x)),
+            "secret entries must be ternary"
+        );
+        Self { s: entries.iter().map(|&x| W::from_i64(x)).collect() }
+    }
+
+    /// The secret as `Z_q` words.
+    pub fn words(&self) -> &[W] {
+        &self.s
+    }
+
+    /// The secret as ternary signed values.
+    pub fn ternary(&self) -> Vec<i64> {
+        self.s.iter().map(|w| w.to_signed()).collect()
+    }
+
+    /// Secret dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.s.len()
+    }
+}
+
+/// A fresh (pre-`Apply`) LWE ciphertext: `m` words of `Z_q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LweCiphertext<W: Word> {
+    /// The ciphertext vector `c = A·s + e + Δ·v`.
+    pub c: Vec<W>,
+}
+
+impl<W: Word> LweCiphertext<W> {
+    /// Wire size in bytes (1-byte width tag, 4-byte count, words).
+    pub fn byte_len(&self) -> u64 {
+        5 + (self.c.len() * (W::BITS as usize / 8)) as u64
+    }
+
+    /// Serializes to the wire format (`encode().len() == byte_len()`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.byte_len() as usize);
+        w.put_u8((W::BITS / 8) as u8);
+        w.put_u32(self.c.len() as u32);
+        for &x in &self.c {
+            x.put_wire(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Parses from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, a width mismatch, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let width = r.get_u8()?;
+        if width as u32 != W::BITS / 8 {
+            return Err(WireError::Invalid("ciphertext word width"));
+        }
+        let n = r.get_u32()? as usize;
+        if n > (1 << 27) {
+            return Err(WireError::Invalid("ciphertext too long"));
+        }
+        let c = (0..n).map(|_| W::get_wire(&mut r)).collect::<Result<Vec<_>, _>>()?;
+        r.finish()?;
+        Ok(Self { c })
+    }
+}
+
+/// Encrypts a plaintext vector `v ∈ Z_p^m` under secret `sk`.
+///
+/// # Panics
+///
+/// Panics if `v.len() != a.rows()`, `sk.dim() != a.cols()`, or any
+/// plaintext entry is not reduced modulo `p`.
+pub fn encrypt<W: Word, R: Rng + ?Sized>(
+    params: &LweParams,
+    sk: &LweSecretKey<W>,
+    a: &MatrixA,
+    v: &[u64],
+    rng: &mut R,
+) -> LweCiphertext<W> {
+    assert_eq!(v.len(), a.rows(), "plaintext length must equal upload dimension");
+    assert_eq!(sk.dim(), a.cols(), "secret dimension mismatch");
+    assert!(v.iter().all(|&x| x < params.p), "plaintext entries must be reduced mod p");
+    let delta = W::from_u64(params.delta());
+    let mut row = vec![W::ZERO; a.cols()];
+    let mut c = Vec::with_capacity(v.len());
+    for (k, &vk) in v.iter().enumerate() {
+        a.expand_row(k, &mut row);
+        let mut acc = W::ZERO;
+        for (&a_kj, &s_j) in row.iter().zip(sk.words().iter()) {
+            acc = acc.wadd(a_kj.wmul(s_j));
+        }
+        let e = W::from_i64(gaussian_i64(rng, params.sigma));
+        c.push(acc.wadd(e).wadd(delta.wmul(W::from_u64(vk))));
+    }
+    LweCiphertext { c }
+}
+
+/// Preprocesses the linear function `M` into the hint `H = M·A`
+/// (paper: "the server executes λ·√N 64-bit operations for the
+/// one-time preprocessing of the matrix M").
+///
+/// Streams rows of `A` once (k-outer loop), so `A` never materializes.
+///
+/// # Panics
+///
+/// Panics if `db.cols() != a.rows()`.
+pub fn preproc<W: Word>(db: &Mat<u32>, a: &MatrixARange) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let ell = db.rows();
+    let n = a.cols();
+    let mut hint: Mat<W> = Mat::zeros(ell, n);
+    let mut a_row = vec![W::ZERO; n];
+    for k in 0..db.cols() {
+        a.expand_row(k, &mut a_row);
+        for i in 0..ell {
+            let m_ik = db.get(i, k);
+            if m_ik == 0 {
+                continue;
+            }
+            let w_ik = W::from_u64(m_ik as u64);
+            for (h, &a_kj) in hint.row_mut(i).iter_mut().zip(a_row.iter()) {
+                *h = h.wadd(w_ik.wmul(a_kj));
+            }
+        }
+    }
+    hint
+}
+
+/// The homomorphic matrix-vector product `c' = M·c`
+/// ("2·N 64-bit additions and multiplications").
+///
+/// # Panics
+///
+/// Panics if `ct.c.len() != db.cols()`.
+pub fn apply<W: Word>(db: &Mat<u32>, ct: &LweCiphertext<W>) -> Vec<W> {
+    matvec(db, &ct.c)
+}
+
+/// Hint preprocessing over a packed signed-4-bit database (see
+/// [`tiptoe_math::nibble::NibbleMat`]): identical to [`preproc`] but
+/// with entries sign-extended into `Z_q`. Requires a power-of-two
+/// plaintext modulus so the signed embedding is congruent mod `p`.
+///
+/// # Panics
+///
+/// Panics if `db.cols() != a.rows()`.
+pub fn preproc_packed<W: Word>(db: &NibbleMat, a: &MatrixARange) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let ell = db.rows();
+    let n = a.cols();
+    let mut hint: Mat<W> = Mat::zeros(ell, n);
+    let mut a_row = vec![W::ZERO; n];
+    for k in 0..db.cols() {
+        a.expand_row(k, &mut a_row);
+        for i in 0..ell {
+            let m_ik = db.get(i, k);
+            if m_ik == 0 {
+                continue;
+            }
+            let w_ik = W::from_i64(m_ik as i64);
+            for (h, &a_kj) in hint.row_mut(i).iter_mut().zip(a_row.iter()) {
+                *h = h.wadd(w_ik.wmul(a_kj));
+            }
+        }
+    }
+    hint
+}
+
+/// The homomorphic product over a packed database.
+///
+/// # Panics
+///
+/// Panics if `ct.c.len() != db.cols()`.
+pub fn apply_packed<W: Word>(db: &NibbleMat, ct: &LweCiphertext<W>) -> Vec<W> {
+    db.matvec(&ct.c)
+}
+
+/// Computes `H·s`, the linear part of decryption. This is exactly the
+/// computation the underhood layer outsources to the server under a
+/// second encryption scheme (paper §6.2).
+///
+/// # Panics
+///
+/// Panics if `sk.dim() != hint.cols()`.
+pub fn hint_times_secret<W: Word>(hint: &Mat<W>, sk: &LweSecretKey<W>) -> Vec<W> {
+    matvec_wide(hint, sk.words())
+}
+
+/// Final (non-linear) decryption step: rounds `c' - H·s` to recover
+/// `M·v mod p`.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn decrypt_from_parts<W: Word>(params: &LweParams, hs: &[W], applied: &[W]) -> Vec<u64> {
+    assert_eq!(hs.len(), applied.len(), "length mismatch");
+    let q = params.q_u128();
+    let p = params.p as u128;
+    applied
+        .iter()
+        .zip(hs.iter())
+        .map(|(&cp, &h)| {
+            let y = cp.wsub(h).to_u64() as u128;
+            // v = round(y * p / q) mod p.
+            (((y * p + q / 2) >> params.log_q) % p) as u64
+        })
+        .collect()
+}
+
+/// Full decryption `Dec(s, H, c') = round_p(c' - H·s) mod p`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn decrypt<W: Word>(
+    params: &LweParams,
+    sk: &LweSecretKey<W>,
+    hint: &Mat<W>,
+    applied: &[W],
+) -> Vec<u64> {
+    let hs = hint_times_secret(hint, sk);
+    decrypt_from_parts(params, &hs, applied)
+}
+
+/// Measured decryption noise `|c' - H·s - Δ·(M·v)|` given the true
+/// plaintext result; used by tests and the noise-budget analysis.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn decryption_noise<W: Word>(
+    params: &LweParams,
+    sk: &LweSecretKey<W>,
+    hint: &Mat<W>,
+    applied: &[W],
+    truth_mod_p: &[u64],
+) -> Vec<i64> {
+    assert_eq!(applied.len(), truth_mod_p.len(), "length mismatch");
+    let hs = hint_times_secret(hint, sk);
+    let delta = W::from_u64(params.delta());
+    applied
+        .iter()
+        .zip(hs.iter())
+        .zip(truth_mod_p.iter())
+        .map(|((&cp, &h), &t)| {
+            let y = cp.wsub(h);
+            let noise = y.wsub(delta.wmul(W::from_u64(t % params.p)));
+            noise.to_signed()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn random_db(rng: &mut impl Rng, rows: usize, cols: usize, p: u64) -> Mat<u32> {
+        Mat::from_fn(rows, cols, |_, _| rng.gen_range(0..p) as u32)
+    }
+
+    /// Reference plaintext computation `M·v mod p`.
+    fn matvec_mod_p(db: &Mat<u32>, v: &[u64], p: u64) -> Vec<u64> {
+        (0..db.rows())
+            .map(|i| {
+                let mut acc: u128 = 0;
+                for (j, &m) in db.row(i).iter().enumerate() {
+                    acc = (acc + m as u128 * v[j] as u128) % p as u128;
+                }
+                acc as u64
+            })
+            .collect()
+    }
+
+    fn roundtrip<W: Word>(params: &LweParams, rows: usize, cols: usize, seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let db = random_db(&mut rng, rows, cols, params.p.min(16));
+        let a = MatrixA::new(99, cols, params.n);
+        let sk = LweSecretKey::<W>::generate(params, &mut rng);
+        // A PIR-style selection vector: avoids mod-p wraparound so the
+        // test is exact for non-power-of-two p too.
+        let mut v = vec![0u64; cols];
+        v[cols / 2] = 1;
+        let ct = encrypt(params, &sk, &a, &v, &mut rng);
+        let hint = preproc::<W>(&db, &a.row_range(0, cols));
+        let applied = apply(&db, &ct);
+        let got = decrypt(params, &sk, &hint, &applied);
+        let want = matvec_mod_p(&db, &v, params.p);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn roundtrip_q32() {
+        let params = LweParams::insecure_test(32, 991, 6.4);
+        roundtrip::<u32>(&params, 8, 32, 1);
+    }
+
+    #[test]
+    fn roundtrip_q64() {
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        roundtrip::<u64>(&params, 8, 32, 2);
+    }
+
+    #[test]
+    fn roundtrip_power_of_two_p_with_wraparound() {
+        // With p | q, results that wrap mod p are still decrypted
+        // exactly (this is what the ranking step relies on).
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        let mut rng = seeded_rng(3);
+        let cols = 64;
+        let db = random_db(&mut rng, 4, cols, params.p);
+        let a = MatrixA::new(5, cols, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..params.p)).collect();
+        let ct = encrypt(&params, &sk, &a, &v, &mut rng);
+        let hint = preproc::<u64>(&db, &a.row_range(0, cols));
+        let applied = apply(&db, &ct);
+        let got = decrypt(&params, &sk, &hint, &applied);
+        let want = matvec_mod_p(&db, &v, params.p);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn paper_parameters_roundtrip() {
+        // Full-size secrets (n = 2048) on a small database.
+        let params = LweParams::ranking_text();
+        let mut rng = seeded_rng(4);
+        let cols = 96;
+        let db = random_db(&mut rng, 6, cols, params.p);
+        let a = MatrixA::new(11, cols, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..16)).collect();
+        let ct = encrypt(&params, &sk, &a, &v, &mut rng);
+        let hint = preproc::<u64>(&db, &a.row_range(0, cols));
+        let applied = apply(&db, &ct);
+        let got = decrypt(&params, &sk, &hint, &applied);
+        assert_eq!(got, matvec_mod_p(&db, &v, params.p));
+    }
+
+    #[test]
+    fn wrong_key_garbles_decryption() {
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        let mut rng = seeded_rng(5);
+        let cols = 32;
+        let db = random_db(&mut rng, 8, cols, 16);
+        let a = MatrixA::new(17, cols, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let other = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let mut v = vec![0u64; cols];
+        v[3] = 1;
+        let ct = encrypt(&params, &sk, &a, &v, &mut rng);
+        let hint = preproc::<u64>(&db, &a.row_range(0, cols));
+        let applied = apply(&db, &ct);
+        let right = decrypt(&params, &sk, &hint, &applied);
+        let wrong = decrypt(&params, &other, &hint, &applied);
+        assert_ne!(right, wrong);
+    }
+
+    #[test]
+    fn measured_noise_is_within_parameter_bound() {
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        let mut rng = seeded_rng(6);
+        let cols = 256;
+        let db = random_db(&mut rng, 8, cols, params.p);
+        let a = MatrixA::new(23, cols, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..params.p)).collect();
+        let ct = encrypt(&params, &sk, &a, &v, &mut rng);
+        let hint = preproc::<u64>(&db, &a.row_range(0, cols));
+        let applied = apply(&db, &ct);
+        let truth = matvec_mod_p(&db, &v, params.p);
+        let noise = decryption_noise(&params, &sk, &hint, &applied, &truth);
+        let bound = params.noise_bound(cols);
+        for e in noise {
+            assert!((e.unsigned_abs() as f64) < bound, "noise {e} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn ternary_key_roundtrips_through_words() {
+        let params = LweParams::insecure_test(32, 64, 6.4);
+        let mut rng = seeded_rng(7);
+        let sk = LweSecretKey::<u32>::generate(&params, &mut rng);
+        let t = sk.ternary();
+        let rebuilt = LweSecretKey::<u32>::from_ternary(&params, &t);
+        assert_eq!(sk, rebuilt);
+    }
+
+    #[test]
+    fn sharded_preproc_sums_to_full_hint() {
+        // Vertical sharding (paper §4.3): hint of the full matrix ==
+        // sum of the shards' hints.
+        let params = LweParams::insecure_test(64, 1 << 10, 10.0);
+        let mut rng = seeded_rng(8);
+        let cols = 40;
+        let db = random_db(&mut rng, 6, cols, 16);
+        let a = MatrixA::new(31, cols, params.n);
+        let full = preproc::<u64>(&db, &a.row_range(0, cols));
+        let left = preproc::<u64>(&db.column_slice(0, 24), &a.row_range(0, 24));
+        let right = preproc::<u64>(&db.column_slice(24, cols), &a.row_range(24, 16));
+        for i in 0..6 {
+            for j in 0..params.n {
+                assert_eq!(full.get(i, j), left.get(i, j).wrapping_add(right.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_database_decrypts_identically() {
+        // Power-of-two p: signed-embedded packed entries and mod-p
+        // residue entries give the same decrypted results.
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        let mut rng = seeded_rng(31);
+        let cols = 40;
+        let signed: Vec<i8> = (0..8 * cols).map(|_| rng.gen_range(-8i8..=7)).collect();
+        let packed = NibbleMat::from_signed(8, cols, &signed);
+        let plain = Mat::from_fn(8, cols, |r, c| {
+            tiptoe_math::zq::reduce_signed(signed[r * cols + c] as i64, params.p) as u32
+        });
+        let a = MatrixA::new(71, cols, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..16)).collect();
+        let ct = encrypt(&params, &sk, &a, &v, &mut rng);
+
+        let plain_hint = preproc::<u64>(&plain, &a.row_range(0, cols));
+        let plain_out = decrypt(&params, &sk, &plain_hint, &apply(&plain, &ct));
+
+        let packed_hint = preproc_packed::<u64>(&packed, &a.row_range(0, cols));
+        let packed_out = decrypt(&params, &sk, &packed_hint, &apply_packed(&packed, &ct));
+        assert_eq!(plain_out, packed_out);
+    }
+
+    #[test]
+    fn ciphertext_wire_roundtrip() {
+        let params = LweParams::insecure_test(64, 16, 1.0);
+        let mut rng = seeded_rng(11);
+        let a = MatrixA::new(2, 8, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let ct = encrypt(&params, &sk, &a, &[1u64; 8], &mut rng);
+        let bytes = ct.encode();
+        assert_eq!(bytes.len() as u64, ct.byte_len());
+        let back = LweCiphertext::<u64>::decode(&bytes).expect("decodes");
+        assert_eq!(back, ct);
+        // Width confusion is rejected.
+        assert!(LweCiphertext::<u32>::decode(&bytes).is_err());
+        // Truncation is rejected.
+        assert!(LweCiphertext::<u64>::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced mod p")]
+    fn unreduced_plaintext_rejected() {
+        let params = LweParams::insecure_test(32, 16, 1.0);
+        let mut rng = seeded_rng(9);
+        let a = MatrixA::new(1, 4, params.n);
+        let sk = LweSecretKey::<u32>::generate(&params, &mut rng);
+        let _ = encrypt(&params, &sk, &a, &[99, 0, 0, 0], &mut rng);
+    }
+}

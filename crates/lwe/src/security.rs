@@ -1,0 +1,164 @@
+//! LWE concrete-security estimation (core-SVP methodology).
+//!
+//! The paper selects parameters "to achieve 128-bit security" citing
+//! the lattice estimator of Albrecht–Player–Scott \[6\]. This module
+//! implements the standard *primal uSVP* estimate from that
+//! methodology so the workspace can check its own parameters instead
+//! of hardcoding claims:
+//!
+//! - the attacker embeds the LWE instance into a uSVP lattice of
+//!   dimension `d = m + n + 1` (Bai–Galbraith for small secrets),
+//! - runs BKZ with block size `b`, which succeeds when the projected
+//!   secret vector is shorter than the Gaussian-heuristic length of
+//!   the relevant projected sublattice (the Alkim–Ducas–Pöppelmann–
+//!   Schwabe "2016 estimate"):
+//!   `σ_eff·√b ≤ δ(b)^(2b−d−1) · q^(m/d)`,
+//! - and costs `2^(0.292·b)` operations (classical core-SVP).
+//!
+//! The estimator minimizes over the attacker's sample count `m` and
+//! block size `b`. It covers the primal attack only; the sample-count
+//! thresholds in the paper's Tables 11–12 additionally reflect dual
+//! and combinatorial attacks from \[6\], so our estimates are a *lower
+//! bound on parameter health*, not a full re-run of the estimator
+//! (noted in `DESIGN.md`).
+
+use crate::params::LweParams;
+
+/// Classical core-SVP cost exponent per BKZ block (Becker–Ducas–
+/// Gama–Laarhoven sieving).
+pub const CORE_SVP_CLASSICAL: f64 = 0.292;
+
+/// The root-Hermite factor `δ` achieved by BKZ with block size `b`
+/// (the standard asymptotic formula, accurate for `b ≥ 50`).
+pub fn bkz_delta(b: f64) -> f64 {
+    ((std::f64::consts::PI * b).powf(1.0 / b) * b / (2.0 * std::f64::consts::E
+        * std::f64::consts::PI))
+        .powf(1.0 / (2.0 * (b - 1.0)))
+}
+
+/// Whether BKZ-`b` with `m` samples solves the instance under the 2016
+/// uSVP success condition.
+fn primal_succeeds(n: f64, log2_q: f64, sigma_eff: f64, m: f64, b: f64) -> bool {
+    let d = m + n + 1.0;
+    if b > d {
+        return true; // Full enumeration of a tiny lattice.
+    }
+    let delta = bkz_delta(b);
+    // log2 of both sides of: σ_eff·√b ≤ δ^(2b−d−1)·q^(m/d).
+    let lhs = (sigma_eff * b.sqrt()).log2();
+    let rhs = (2.0 * b - d - 1.0) * delta.log2() + (m / d) * log2_q;
+    lhs <= rhs
+}
+
+/// Estimated security (bits) of an LWE instance with ternary secrets
+/// against the primal uSVP attack, minimized over the attacker's
+/// choice of `m ≤ max_samples` and block size.
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0` or `n == 0`.
+pub fn primal_security_bits(n: usize, log2_q: u32, sigma: f64, max_samples: usize) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!(n > 0, "dimension must be positive");
+    // Bai-Galbraith rescaling for ternary secrets (std dev ~ sqrt(2/3))
+    // relative to the error distribution: the attacker balances the
+    // secret and error parts; effective sigma is the geometric mean
+    // bounded below by the secret's own deviation.
+    let sigma_s = (2.0f64 / 3.0).sqrt();
+    let sigma_eff = sigma.max(sigma_s);
+
+    let n_f = n as f64;
+    let log2_q = log2_q as f64;
+    let mut best = f64::INFINITY;
+    // The attacker's optimal m is near sqrt(n·log q / log δ); scan a
+    // generous grid.
+    let m_cap = (max_samples as f64).min(16.0 * n_f);
+    let mut b = 50.0;
+    while b <= 1200.0 {
+        // Find whether *any* m ≤ cap succeeds at this block size; the
+        // success condition is unimodal in m, so scan coarsely.
+        let mut m = n_f * 0.25;
+        let mut works = false;
+        while m <= m_cap {
+            if primal_succeeds(n_f, log2_q, sigma_eff, m, b) {
+                works = true;
+                break;
+            }
+            m *= 1.05;
+        }
+        if works {
+            best = best.min(CORE_SVP_CLASSICAL * b);
+            break; // Larger b only costs more.
+        }
+        b += 5.0;
+    }
+    if best.is_infinite() {
+        // No block size up to 1200 succeeds: beyond 350 bits.
+        best = CORE_SVP_CLASSICAL * 1200.0;
+    }
+    best
+}
+
+/// Convenience: estimated primal security of a parameter set at a
+/// given upload dimension (the attacker sees one LWE sample per
+/// uploaded ciphertext word).
+pub fn estimate(params: &LweParams, upload_dim: usize) -> f64 {
+    primal_security_bits(params.n, params.log_q, params.sigma, upload_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bkz_delta_matches_known_values() {
+        // Reference points from the standard GSA formula (as used by
+        // the lattice estimator): δ(BKZ-200) ≈ 1.0063, δ(BKZ-400) ≈ 1.0040.
+        assert!((bkz_delta(200.0) - 1.00628).abs() < 3e-4, "{}", bkz_delta(200.0));
+        assert!((bkz_delta(400.0) - 1.00398).abs() < 3e-4, "{}", bkz_delta(400.0));
+        // Monotone decreasing.
+        assert!(bkz_delta(100.0) > bkz_delta(300.0));
+    }
+
+    #[test]
+    fn paper_ranking_parameters_exceed_128_bits() {
+        // Appendix C: n = 2048, q = 2^64, σ = 81920 — "128-bit security
+        // for encrypted vectors of dimension ≤ 2^27".
+        let params = LweParams::ranking_text();
+        let bits = estimate(&params, 1 << 27);
+        assert!(bits >= 128.0, "ranking params only {bits:.0} bits");
+    }
+
+    #[test]
+    fn paper_url_parameters_exceed_128_bits() {
+        // Appendix C: n = 1408, q = 2^32, σ = 6.4 — 128-bit up to 2^20.
+        let params = LweParams::url(991);
+        let bits = estimate(&params, 1 << 20);
+        assert!(bits >= 128.0, "URL params only {bits:.0} bits");
+    }
+
+    #[test]
+    fn table_11_tail_parameters_hold_up() {
+        // n = 1608, q = 2^32, σ = 0.5 (Table 11, m ≥ 2^21).
+        let bits = primal_security_bits(1608, 32, 0.5, 1 << 24);
+        assert!(bits >= 128.0, "tail params only {bits:.0} bits");
+    }
+
+    #[test]
+    fn test_parameters_are_reported_insecure() {
+        // The n = 64 unit-test parameters must NOT pass as secure.
+        let params = LweParams::insecure_test(32, 991, 6.4);
+        let bits = estimate(&params, 1 << 12);
+        assert!(bits < 40.0, "test params claimed {bits:.0} bits");
+    }
+
+    #[test]
+    fn security_grows_with_dimension_and_shrinks_with_modulus() {
+        let small_n = primal_security_bits(512, 32, 6.4, 1 << 16);
+        let large_n = primal_security_bits(1024, 32, 6.4, 1 << 16);
+        assert!(large_n > small_n);
+        let small_q = primal_security_bits(1024, 32, 6.4, 1 << 16);
+        let large_q = primal_security_bits(1024, 64, 6.4, 1 << 16);
+        assert!(small_q > large_q, "a larger modulus (same noise) must be easier");
+    }
+}

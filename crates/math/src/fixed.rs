@@ -1,0 +1,188 @@
+//! Fixed-precision representation of real-valued embeddings in `Z_p`
+//! (paper, Appendix B.1).
+//!
+//! Each real `x ∈ [-1, 1]` is represented as `round(x · 2^b)` with a
+//! sign, then mapped into `Z_p` by associating `Z_p` with
+//! `{-p/2, …, 0, …, p/2}`. Inner products of `d`-dimensional vectors
+//! stay below `p/2` — and therefore never wrap — as long as
+//! `p/2 > d · (2^b)^2`, which [`FixedEncoder::max_dimension`] exposes
+//! and the crypto parameter selection enforces.
+
+/// Encoder between reals in `[-1, 1]` and fixed-precision residues
+/// modulo `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedEncoder {
+    /// Precision bits `b`; values are scaled by `2^b`.
+    bits: u32,
+    /// Plaintext modulus `p`.
+    p: u64,
+}
+
+impl FixedEncoder {
+    /// Creates an encoder with `b` precision bits over modulus `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled range does not fit in `p`
+    /// (`2^(b+1) >= p`), or `b == 0`, or `p < 4`.
+    pub fn new(bits: u32, p: u64) -> Self {
+        assert!(bits > 0, "need at least one precision bit");
+        assert!(p >= 4, "modulus too small");
+        assert!(1u64 << (bits + 1) < p, "scaled values must fit in Z_p");
+        Self { bits, p }
+    }
+
+    /// Precision bits `b`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Plaintext modulus `p`.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The scale factor `2^b`.
+    pub fn scale(&self) -> i64 {
+        1i64 << self.bits
+    }
+
+    /// Largest vector dimension `d` whose inner products are guaranteed
+    /// not to wrap modulo `p` for **arbitrary** vectors in `[-1,1]^d`:
+    /// `d · (2^b)^2 < p/2`.
+    pub fn max_dimension(&self) -> usize {
+        let sq = (self.scale() as u128) * (self.scale() as u128);
+        ((self.p as u128 / 2 - 1) / sq) as usize
+    }
+
+    /// Whether inner products of **L2-normalized** vectors of dimension
+    /// `d` are guaranteed not to wrap modulo `p`.
+    ///
+    /// For unit vectors the product is at most `2^{2b}` plus rounding
+    /// cross-terms: `2^{2b} + 2^b·√d + d/4`. This is the bound that
+    /// lets the paper use `p = 2^15` with `d = 384` for image search
+    /// (Appendix C calls these "normalized embeddings").
+    pub fn supports_normalized(&self, d: usize) -> bool {
+        let s = self.scale() as f64;
+        let bound = s * s + s * (d as f64).sqrt() + d as f64 / 4.0;
+        bound < (self.p / 2) as f64
+    }
+
+    /// Encodes a real as a signed fixed-precision integer, clipping to
+    /// `[-1, 1]` (the paper clips out-of-range embedding values, §B.1).
+    pub fn encode_signed(&self, x: f32) -> i64 {
+        let clipped = x.clamp(-1.0, 1.0);
+        (clipped as f64 * self.scale() as f64).round() as i64
+    }
+
+    /// Encodes a real as a residue in `[0, p)`.
+    pub fn encode(&self, x: f32) -> u64 {
+        crate::zq::reduce_signed(self.encode_signed(x), self.p)
+    }
+
+    /// Encodes a whole vector into `Z_p` residues.
+    pub fn encode_vec(&self, xs: &[f32]) -> Vec<u64> {
+        xs.iter().map(|&x| self.encode(x)).collect()
+    }
+
+    /// Decodes a residue back to the signed representative.
+    pub fn decode_signed(&self, r: u64) -> i64 {
+        crate::zq::center(r % self.p, self.p)
+    }
+
+    /// Decodes a residue holding an **inner product** of two encoded
+    /// vectors back to an approximate real value (the scale is applied
+    /// twice by the product).
+    pub fn decode_product(&self, r: u64) -> f64 {
+        let s = self.scale() as f64;
+        self.decode_signed(r) as f64 / (s * s)
+    }
+
+    /// Exact signed inner product of two encoded vectors, as the
+    /// server would compute it modulo `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn inner_product_mod_p(&self, a: &[u64], b: &[u64]) -> u64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let p = self.p as u128;
+        let mut acc: u128 = 0;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            acc = (acc + (x as u128 % p) * (y as u128 % p)) % p;
+        }
+        acc as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_error_bound() {
+        let enc = FixedEncoder::new(4, 1 << 17);
+        for i in -100..=100 {
+            let x = i as f32 / 100.0;
+            let r = enc.encode(x);
+            let back = enc.decode_signed(r) as f64 / enc.scale() as f64;
+            assert!(
+                (back - x as f64).abs() <= 0.5 / enc.scale() as f64 + 1e-9,
+                "x={x}, back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_clipped() {
+        let enc = FixedEncoder::new(4, 1 << 17);
+        assert_eq!(enc.encode(5.0), enc.encode(1.0));
+        assert_eq!(enc.encode(-5.0), enc.encode(-1.0));
+    }
+
+    #[test]
+    fn paper_text_parameters_support_dimension_192() {
+        // Text search: p = 2^17, 4-bit signed embeddings, d = 192
+        // (Appendix C: "avoids overflow ... with embeddings of
+        // dimension d = 192 consisting of 4-bit signed integers").
+        let enc = FixedEncoder::new(3, 1 << 17);
+        assert!(enc.max_dimension() >= 192, "got {}", enc.max_dimension());
+    }
+
+    #[test]
+    fn paper_image_parameters_support_dimension_384() {
+        // Image search: p = 2^15, d = 384, 4-bit signed values. The
+        // worst-case bound does NOT cover d = 384; the paper relies on
+        // the embeddings being L2-normalized.
+        let enc = FixedEncoder::new(3, 1 << 15);
+        assert!(enc.max_dimension() < 384);
+        assert!(enc.supports_normalized(384));
+    }
+
+    #[test]
+    fn inner_product_mod_p_matches_float_product() {
+        let enc = FixedEncoder::new(6, 1 << 24);
+        let a = [0.5f32, -0.25, 1.0, 0.0];
+        let b = [0.5f32, 0.25, -1.0, 0.75];
+        let ea = enc.encode_vec(&a);
+        let eb = enc.encode_vec(&b);
+        let got = enc.decode_product(enc.inner_product_mod_p(&ea, &eb));
+        let want: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+        assert!((got - want).abs() < 0.05, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn max_dimension_is_tight() {
+        let enc = FixedEncoder::new(3, 1 << 17);
+        let d = enc.max_dimension();
+        // d * (2^3)^2 < p/2 <= (d+1) * (2^3)^2.
+        assert!((d as u64) * 64 < (1 << 16));
+        assert!((d as u64 + 1) * 64 >= (1 << 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in Z_p")]
+    fn oversized_precision_rejected() {
+        let _ = FixedEncoder::new(20, 1 << 17);
+    }
+}

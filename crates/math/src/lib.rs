@@ -1,0 +1,47 @@
+//! Mathematical substrate for the Tiptoe private-search system.
+//!
+//! This crate provides the low-level building blocks shared by every
+//! cryptographic and machine-learning component in the workspace:
+//!
+//! - [`zq`]: arithmetic over `Z_q` for power-of-two moduli (`q = 2^32`,
+//!   `q = 2^64`), where the hardware wrap-around *is* the reduction.
+//! - [`modp`]: arithmetic over `Z_Q` for odd prime moduli, used by the
+//!   ring-LWE outer encryption scheme.
+//! - [`ntt`]: negacyclic number-theoretic transforms over NTT-friendly
+//!   primes `Q ≡ 1 (mod 2N)`.
+//! - [`poly`]: elements of the quotient ring `R_Q = Z_Q[x]/(x^N + 1)`.
+//! - [`matrix`]: dense row-major matrices with the mixed-width
+//!   matrix-vector kernels that dominate Tiptoe's server cost.
+//! - [`nibble`]: packed signed-4-bit matrix storage (the paper stores
+//!   embeddings as 4-bit integers), 8× smaller than `u32` residues.
+//! - [`sample`]: lattice noise distributions (rounded discrete
+//!   Gaussians, ternary secrets) over a seeded PRG.
+//! - [`fixed`]: the fixed-precision real-to-`Z_p` embedding encoding of
+//!   the paper's Appendix B.1.
+//! - [`rng`]: deterministic seed derivation so every experiment in the
+//!   workspace is reproducible.
+//! - [`stats`]: small statistics helpers used by the benchmark harness.
+//! - [`wire`]: checked byte-level encoders/decoders backing every
+//!   protocol message's verifiable `byte_len()`.
+//!
+//! Everything here is written against the public API of the paper
+//! "Private Web Search with Tiptoe" (SOSP 2023); see the workspace
+//! `DESIGN.md` for the full inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod matrix;
+pub mod modp;
+pub mod nibble;
+pub mod ntt;
+pub mod poly;
+pub mod rng;
+pub mod sample;
+pub mod stats;
+pub mod wire;
+pub mod zq;
+
+pub use matrix::Mat;
+pub use poly::Poly;

@@ -1,0 +1,324 @@
+//! Dense row-major matrices and the matrix-vector kernels that
+//! dominate Tiptoe's server-side cost.
+//!
+//! The ranking service's per-query work is one product `M · ct` where
+//! `M` holds small plaintext entries (quantized embeddings, at most
+//! `log2 p ≤ 17` bits) and `ct` is a ciphertext vector of full machine
+//! words (paper §4.2: "roughly 2·N·d 64-bit word operations"). The
+//! kernels below therefore take a narrow (`u32`) matrix and a wide
+//! ([`Word`]) vector, with wrapping arithmetic providing the mod-`2^k`
+//! reduction for free.
+
+use crate::zq::Word;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Mat<T> {
+    /// An all-default (`zero`) matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element count (`rows * cols`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[inline(always)]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[inline(always)]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline(always)]
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// A mutable view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The backing row-major buffer.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the backing row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> Mat<T> {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// A copy of the column range `[start, end)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > cols`.
+    pub fn column_slice(&self, start: usize, end: usize) -> Mat<T> {
+        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        let mut out = Mat::zeros(self.rows, end - start);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        out
+    }
+}
+
+/// `out = M · v` over `Z_{2^k}` with a narrow matrix and wide vector.
+///
+/// This is the SimplePIR `Apply` hot loop: entries of `db` are already
+/// reduced modulo the plaintext modulus and are treated as elements of
+/// `Z_{2^k}`; the wrap-around of [`Word`] arithmetic performs the
+/// modular reduction.
+///
+/// # Panics
+///
+/// Panics if `v.len() != db.cols()`.
+pub fn matvec<W: Word>(db: &Mat<u32>, v: &[W]) -> Vec<W> {
+    assert_eq!(v.len(), db.cols(), "dimension mismatch");
+    let mut out = Vec::with_capacity(db.rows());
+    for i in 0..db.rows() {
+        out.push(dot_row(db.row(i), v));
+    }
+    out
+}
+
+/// Inner product of one narrow row with a wide vector, four-way
+/// unrolled to keep the MAC pipeline busy.
+#[inline]
+pub fn dot_row<W: Word>(row: &[u32], v: &[W]) -> W {
+    debug_assert_eq!(row.len(), v.len());
+    let mut acc0 = W::ZERO;
+    let mut acc1 = W::ZERO;
+    let mut acc2 = W::ZERO;
+    let mut acc3 = W::ZERO;
+    let chunks = row.len() / 4;
+    for k in 0..chunks {
+        let b = k * 4;
+        acc0 = acc0.wadd(W::from_u64(row[b] as u64).wmul(v[b]));
+        acc1 = acc1.wadd(W::from_u64(row[b + 1] as u64).wmul(v[b + 1]));
+        acc2 = acc2.wadd(W::from_u64(row[b + 2] as u64).wmul(v[b + 2]));
+        acc3 = acc3.wadd(W::from_u64(row[b + 3] as u64).wmul(v[b + 3]));
+    }
+    for b in chunks * 4..row.len() {
+        acc0 = acc0.wadd(W::from_u64(row[b] as u64).wmul(v[b]));
+    }
+    acc0.wadd(acc1).wadd(acc2).wadd(acc3)
+}
+
+/// `out = M · A` over `Z_{2^k}`: the SimplePIR hint computation.
+///
+/// `db` is the narrow plaintext matrix (`ℓ × m`), `a` the wide LWE
+/// public matrix (`m × n`); the result is the `ℓ × n` hint. Uses an
+/// i-k-j loop order so the inner loop streams rows of `a`.
+///
+/// # Panics
+///
+/// Panics if `db.cols() != a.rows()`.
+pub fn matmul_hint<W: Word>(db: &Mat<u32>, a: &Mat<W>) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "dimension mismatch");
+    let mut out: Mat<W> = Mat::zeros(db.rows(), a.cols());
+    for i in 0..db.rows() {
+        let db_row = db.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &m_ik) in db_row.iter().enumerate() {
+            if m_ik == 0 {
+                continue;
+            }
+            let w_ik = W::from_u64(m_ik as u64);
+            let a_row = a.row(k);
+            for (o, &a_kj) in out_row.iter_mut().zip(a_row.iter()) {
+                *o = o.wadd(w_ik.wmul(a_kj));
+            }
+        }
+    }
+    out
+}
+
+/// `out = H · s` over `Z_{2^k}` for a wide matrix and wide vector
+/// (hint-times-secret during decryption).
+///
+/// # Panics
+///
+/// Panics if `s.len() != h.cols()`.
+pub fn matvec_wide<W: Word>(h: &Mat<W>, s: &[W]) -> Vec<W> {
+    assert_eq!(s.len(), h.cols(), "dimension mismatch");
+    let mut out = Vec::with_capacity(h.rows());
+    for i in 0..h.rows() {
+        let mut acc = W::ZERO;
+        for (&a, &b) in h.row(i).iter().zip(s.iter()) {
+            acc = acc.wadd(a.wmul(b));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_naive_u64() {
+        let db = Mat::from_fn(3, 5, |i, j| (i * 5 + j) as u32);
+        let v: Vec<u64> = (0..5).map(|j| (j as u64 + 1) * 1_000_000_007).collect();
+        let got = matvec(&db, &v);
+        for (i, &g) in got.iter().enumerate() {
+            let mut want = 0u64;
+            for (j, &x) in v.iter().enumerate() {
+                want = want.wrapping_add((db.get(i, j) as u64).wrapping_mul(x));
+            }
+            assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_naive_u32() {
+        let db = Mat::from_fn(4, 7, |i, j| (i * 31 + j * 17) as u32);
+        let v: Vec<u32> = (0..7).map(|j| (j as u32 + 1).wrapping_mul(0x9e37_79b9)).collect();
+        let got = matvec(&db, &v);
+        for (i, &g) in got.iter().enumerate() {
+            let mut want = 0u32;
+            for (j, &x) in v.iter().enumerate() {
+                want = want.wrapping_add(db.get(i, j).wrapping_mul(x));
+            }
+            assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    fn matmul_hint_matches_matvec_per_column() {
+        let db = Mat::from_fn(3, 4, |i, j| (i + 2 * j) as u32);
+        let a: Mat<u64> = Mat::from_fn(4, 2, |i, j| (i as u64 + 1) * 7 + j as u64 * 1e15 as u64);
+        let h = matmul_hint(&db, &a);
+        assert_eq!(h.rows(), 3);
+        assert_eq!(h.cols(), 2);
+        for j in 0..2 {
+            let col: Vec<u64> = (0..4).map(|k| a.get(k, j)).collect();
+            let want = matvec(&db, &col);
+            for (i, &w) in want.iter().enumerate() {
+                assert_eq!(h.get(i, j), w);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::from_fn(3, 5, |i, j| i * 10 + j);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn column_slice_extracts_block() {
+        let m = Mat::from_fn(2, 6, |i, j| i * 6 + j);
+        let s = m.column_slice(2, 5);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.row(0), &[2, 3, 4]);
+        assert_eq!(s.row(1), &[8, 9, 10]);
+    }
+
+    #[test]
+    fn matvec_wide_matches_naive() {
+        let h: Mat<u64> = Mat::from_fn(2, 3, |i, j| (i as u64) << 60 | (j as u64 + 1));
+        let s = vec![u64::MAX, 3, 1 << 62];
+        let got = matvec_wide(&h, &s);
+        for (i, &g) in got.iter().enumerate() {
+            let mut want = 0u64;
+            for (j, &x) in s.iter().enumerate() {
+                want = want.wrapping_add(h.get(i, j).wrapping_mul(x));
+            }
+            assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_shape() {
+        let db = Mat::from_fn(2, 3, |_, _| 1u32);
+        let v = vec![1u64; 4];
+        let _ = matvec(&db, &v);
+    }
+}

@@ -1,0 +1,394 @@
+//! Negacyclic number-theoretic transforms over NTT-friendly primes.
+//!
+//! The outer (ring-LWE) encryption scheme multiplies polynomials in
+//! `R_Q = Z_Q[x]/(x^N + 1)`. With `Q ≡ 1 (mod 2N)` a primitive `2N`-th
+//! root of unity `ψ` exists, and the negacyclic convolution becomes a
+//! pointwise product in the ψ-twisted NTT domain. We use the standard
+//! merged-twist butterflies (Cooley-Tukey forward / Gentleman-Sande
+//! inverse with ψ-powers stored in bit-reversed order) and Shoup
+//! precomputed-quotient modular multiplication in the hot loop.
+
+use crate::modp::{find_ntt_prime, PrimeModulus};
+
+/// Precomputed tables for a negacyclic NTT of size `N` over prime `Q`.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    modulus: PrimeModulus,
+    /// ψ-powers in bit-reversed order (forward transform).
+    psi_rev: Vec<u64>,
+    /// Shoup quotients for `psi_rev`.
+    psi_rev_shoup: Vec<u64>,
+    /// ψ^{-1}-powers in bit-reversed order (inverse transform).
+    inv_psi_rev: Vec<u64>,
+    /// Shoup quotients for `inv_psi_rev`.
+    inv_psi_rev_shoup: Vec<u64>,
+    /// `N^{-1} mod Q`, folded into the last inverse stage.
+    n_inv: u64,
+    n_inv_shoup: u64,
+}
+
+/// Multiplies `a * b mod q` using Shoup's trick, where
+/// `b_shoup = floor(b * 2^64 / q)` was precomputed.
+#[inline(always)]
+fn mul_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
+    let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
+    let r = a.wrapping_mul(b).wrapping_sub(hi.wrapping_mul(q));
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
+#[inline(always)]
+fn shoup_quotient(b: u64, q: u64) -> u64 {
+    (((b as u128) << 64) / q as u128) as u64
+}
+
+impl NttTable {
+    /// Builds NTT tables for ring degree `n` (a power of two) over the
+    /// largest NTT-friendly prime below `2^q_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two at least 4, or if no
+    /// suitable prime exists (see [`find_ntt_prime`]).
+    pub fn new(n: usize, q_bits: u32) -> Self {
+        let q = find_ntt_prime(q_bits, 2 * n as u64);
+        Self::with_modulus(n, q)
+    }
+
+    /// Builds NTT tables for ring degree `n` over a given prime `q`
+    /// with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two at least 4, or if
+    /// `q mod 2n != 1`.
+    pub fn with_modulus(n: usize, q: u64) -> Self {
+        assert!(n >= 4 && n.is_power_of_two(), "ring degree must be a power of two >= 4");
+        assert!(q % (2 * n as u64) == 1, "q must be 1 mod 2n");
+        let modulus = PrimeModulus::new(q);
+        let psi = primitive_2n_root(&modulus, n);
+        let inv_psi = modulus.inv(psi);
+
+        let log_n = n.trailing_zeros();
+        let mut psi_rev = vec![0u64; n];
+        let mut inv_psi_rev = vec![0u64; n];
+        let mut pow_f = 1u64;
+        let mut pow_i = 1u64;
+        // psi_rev[bitrev(i)] = psi^i.
+        let mut powers_f = Vec::with_capacity(n);
+        let mut powers_i = Vec::with_capacity(n);
+        for _ in 0..n {
+            powers_f.push(pow_f);
+            powers_i.push(pow_i);
+            pow_f = modulus.mul(pow_f, psi);
+            pow_i = modulus.mul(pow_i, inv_psi);
+        }
+        for (i, (&pf, &pi)) in powers_f.iter().zip(powers_i.iter()).enumerate() {
+            let r = bit_reverse(i as u64, log_n) as usize;
+            psi_rev[r] = pf;
+            inv_psi_rev[r] = pi;
+        }
+
+        let psi_rev_shoup = psi_rev.iter().map(|&b| shoup_quotient(b, q)).collect();
+        let inv_psi_rev_shoup = inv_psi_rev.iter().map(|&b| shoup_quotient(b, q)).collect();
+        let n_inv = modulus.inv(n as u64);
+        let n_inv_shoup = shoup_quotient(n_inv, q);
+
+        Self {
+            n,
+            modulus,
+            psi_rev,
+            psi_rev_shoup,
+            inv_psi_rev,
+            inv_psi_rev_shoup,
+            n_inv,
+            n_inv_shoup,
+        }
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The prime modulus `Q`.
+    pub fn modulus(&self) -> &PrimeModulus {
+        &self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation
+    /// domain). Input coefficients must be reduced modulo `Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table's ring degree.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = self.modulus.value();
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let w = self.psi_rev[m + i];
+                let w_sh = self.psi_rev_shoup[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_shoup(a[j + t], w, w_sh, q);
+                    let s = u + v;
+                    a[j] = if s >= q { s - q } else { s };
+                    a[j + t] = if u >= v { u - v } else { u + q - v };
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient
+    /// domain), including the `N^{-1}` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table's ring degree.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = self.modulus.value();
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = self.inv_psi_rev[h + i];
+                let w_sh = self.inv_psi_rev_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    let s = u + v;
+                    a[j] = if s >= q { s - q } else { s };
+                    let d = if u >= v { u - v } else { u + q - v };
+                    a[j + t] = mul_shoup(d, w, w_sh, q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_shoup(*x, self.n_inv, self.n_inv_shoup, q);
+        }
+    }
+
+    /// Precomputes Shoup quotients for a *fixed* NTT-domain vector so
+    /// that later multiply-accumulates avoid `%` reductions (used for
+    /// the hint polynomials, which are reused across every token).
+    pub fn prepare_shoup(&self, values: &[u64]) -> ShoupPoly {
+        assert_eq!(values.len(), self.n, "length mismatch");
+        let q = self.modulus.value();
+        debug_assert!(values.iter().all(|&v| v < q));
+        ShoupPoly {
+            values: values.to_vec(),
+            quotients: values.iter().map(|&v| shoup_quotient(v, q)).collect(),
+        }
+    }
+
+    /// Pointwise multiply-accumulate `out[i] += h[i] * z[i] mod Q`
+    /// with a Shoup-precomputed fixed operand `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch.
+    pub fn mul_acc_shoup(&self, h: &ShoupPoly, z: &[u64], out: &mut [u64]) {
+        assert_eq!(h.values.len(), self.n);
+        assert_eq!(z.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let q = self.modulus.value();
+        for i in 0..self.n {
+            let p = mul_shoup(z[i], h.values[i], h.quotients[i], q);
+            let s = out[i] + p;
+            out[i] = if s >= q { s - q } else { s };
+        }
+    }
+
+    /// Pointwise product `out[i] += a[i] * b[i] mod Q` of two
+    /// NTT-domain vectors, accumulating into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch.
+    pub fn mul_acc(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let q = self.modulus.value();
+        for ((&x, &y), o) in a.iter().zip(b.iter()).zip(out.iter_mut()) {
+            let p = ((x as u128 * y as u128) % q as u128) as u64;
+            let s = *o + p;
+            *o = if s >= q { s - q } else { s };
+        }
+    }
+
+    /// Pointwise product `out[i] = a[i] * b[i] mod Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any length mismatch.
+    pub fn mul(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let q = self.modulus.value();
+        for ((&x, &y), o) in a.iter().zip(b.iter()).zip(out.iter_mut()) {
+            *o = ((x as u128 * y as u128) % q as u128) as u64;
+        }
+    }
+}
+
+/// A fixed NTT-domain vector with precomputed Shoup quotients for fast
+/// repeated multiplication (see [`NttTable::prepare_shoup`]).
+#[derive(Debug, Clone)]
+pub struct ShoupPoly {
+    values: Vec<u64>,
+    quotients: Vec<u64>,
+}
+
+impl ShoupPoly {
+    /// The underlying NTT-domain values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// Reverses the low `bits` bits of `x`.
+#[inline]
+pub fn bit_reverse(x: u64, bits: u32) -> u64 {
+    x.reverse_bits() >> (64 - bits)
+}
+
+/// Finds a primitive `2n`-th root of unity modulo `Q`.
+///
+/// Searches generator candidates and checks `ψ^n = -1`.
+fn primitive_2n_root(modulus: &PrimeModulus, n: usize) -> u64 {
+    let q = modulus.value();
+    let order = 2 * n as u64;
+    let cofactor = (q - 1) / order;
+    for g in 2..u64::MAX {
+        let psi = modulus.pow(g, cofactor);
+        if modulus.pow(psi, n as u64) == q - 1 {
+            return psi;
+        }
+    }
+    unreachable!("no primitive root found (q-1 has known factor 2n)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    /// Schoolbook negacyclic product for reference.
+    fn negacyclic_mul_ref(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0i128; n];
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = (ai as i128) * (bj as i128) % q as i128;
+                let k = i + j;
+                if k < n {
+                    out[k] = (out[k] + prod) % q as i128;
+                } else {
+                    out[k - n] = (out[k - n] - prod).rem_euclid(q as i128);
+                }
+            }
+        }
+        out.into_iter().map(|x| x.rem_euclid(q as i128) as u64).collect()
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let table = NttTable::new(64, 40);
+        let mut rng = seeded_rng(7);
+        let q = table.modulus().value();
+        let original: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
+        let mut a = original.clone();
+        table.forward(&mut a);
+        assert_ne!(a, original, "transform should permute values");
+        table.inverse(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook() {
+        let table = NttTable::new(32, 30);
+        let q = table.modulus().value();
+        let mut rng = seeded_rng(13);
+        for _ in 0..10 {
+            let a: Vec<u64> = (0..32).map(|_| rng.gen_range(0..q)).collect();
+            let b: Vec<u64> = (0..32).map(|_| rng.gen_range(0..q)).collect();
+            let expected = negacyclic_mul_ref(&a, &b, q);
+
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            table.forward(&mut fa);
+            table.forward(&mut fb);
+            let mut fc = vec![0u64; 32];
+            table.mul(&fa, &fb, &mut fc);
+            table.inverse(&mut fc);
+            assert_eq!(fc, expected);
+        }
+    }
+
+    #[test]
+    fn mul_acc_accumulates() {
+        let table = NttTable::new(16, 30);
+        let q = table.modulus().value();
+        let a: Vec<u64> = (0..16).map(|i| (i as u64 * 7 + 3) % q).collect();
+        let b: Vec<u64> = (0..16).map(|i| (i as u64 * 11 + 5) % q).collect();
+        let mut acc = vec![1u64; 16];
+        table.mul_acc(&a, &b, &mut acc);
+        for i in 0..16 {
+            assert_eq!(acc[i], (1 + a[i] as u128 * b[i] as u128 % q as u128) as u64 % q);
+        }
+    }
+
+    #[test]
+    fn production_size_roundtrip() {
+        // The parameters the outer scheme actually uses: N = 2048, 62-bit Q.
+        let table = NttTable::new(2048, 62);
+        let q = table.modulus().value();
+        let mut rng = seeded_rng(99);
+        let original: Vec<u64> = (0..2048).map(|_| rng.gen_range(0..q)).collect();
+        let mut a = original.clone();
+        table.forward(&mut a);
+        table.inverse(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn x_times_x_pow_nminus1_is_minus_one() {
+        // In Z_Q[x]/(x^n+1): x * x^(n-1) = x^n = -1.
+        let n = 16;
+        let table = NttTable::new(n, 30);
+        let q = table.modulus().value();
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1;
+        table.forward(&mut a);
+        table.forward(&mut b);
+        let mut c = vec![0u64; n];
+        table.mul(&a, &b, &mut c);
+        table.inverse(&mut c);
+        let mut expected = vec![0u64; n];
+        expected[0] = q - 1;
+        assert_eq!(c, expected);
+    }
+}

@@ -1,0 +1,107 @@
+//! Small statistics helpers used by the benchmark harness and the
+//! search-quality evaluation.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `q`-th percentile (0..=100) by linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q), "q out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Format a byte count using binary units (KiB/MiB/GiB), as the paper
+/// reports communication costs.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.1} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Format a duration in seconds with an adaptive unit.
+pub fn fmt_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_constant() {
+        let xs = [5.0; 8];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(std_dev(&xs), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    fn byte_formatting_uses_binary_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(56_900_000), "54.3 MiB");
+        assert_eq!(fmt_bytes(3 << 30), "3.0 GiB");
+    }
+
+    #[test]
+    fn seconds_formatting_is_adaptive() {
+        assert_eq!(fmt_seconds(2.7), "2.70 s");
+        assert_eq!(fmt_seconds(0.0045), "4.50 ms");
+        assert_eq!(fmt_seconds(0.0000032), "3.20 µs");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

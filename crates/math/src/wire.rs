@@ -1,0 +1,337 @@
+//! Byte-level wire encoding helpers.
+//!
+//! Every protocol message in the workspace reports a `byte_len()` used
+//! by the communication accounting; this module provides the actual
+//! serializers so that the accounting is *checkable*: each message
+//! type's tests assert `encode().len() == byte_len()`, and decoders
+//! reject malformed input instead of panicking.
+//!
+//! The format is deliberately plain: little-endian fixed-width
+//! integers, length-prefixed sequences, no compression (ciphertexts
+//! are incompressible; everything compressible is already compressed
+//! upstream by `tiptoe-corpus::tzip`).
+
+/// Wire-format decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the message was complete.
+    Truncated,
+    /// A field held an invalid or out-of-range value.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire message truncated"),
+            WireError::Invalid(what) => write!(f, "invalid wire field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only encoder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (caller frames them).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn put_len_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v);
+    }
+
+    /// Appends a `u32` count followed by little-endian `u32` values.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_u32(x);
+        }
+    }
+
+    /// Appends a `u32` count followed by little-endian `u64` values.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Appends `values.len()` values of `bits` bits each, LSB-first
+    /// bit packing (used for modulus-switched ciphertexts, whose
+    /// values are far narrower than a machine word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 64, or a value does not fit.
+    pub fn put_packed_u64(&mut self, values: &[u64], bits: u32) {
+        assert!((1..=64).contains(&bits), "bits out of range");
+        self.put_u32(values.len() as u32);
+        self.put_u8(bits as u8);
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        for &v in values {
+            assert!(bits == 64 || v < (1u64 << bits), "value does not fit in {bits} bits");
+            acc |= (v as u128) << acc_bits;
+            acc_bits += bits;
+            while acc_bits >= 8 {
+                self.buf.push((acc & 0xff) as u8);
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        }
+        if acc_bits > 0 {
+            self.buf.push((acc & 0xff) as u8);
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finalizes into the encoded message.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A checked sequential decoder.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps an encoded message.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string (capped at 1 GiB to
+    /// bound allocation from hostile inputs).
+    pub fn get_len_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        if len > (1 << 30) {
+            return Err(WireError::Invalid("length prefix too large"));
+        }
+        self.take(len)
+    }
+
+    /// Reads a `u32`-counted `u32` sequence.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > (1 << 28) {
+            return Err(WireError::Invalid("sequence too long"));
+        }
+        (0..n).map(|_| self.get_u32()).collect()
+    }
+
+    /// Reads a `u32`-counted `u64` sequence.
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > (1 << 27) {
+            return Err(WireError::Invalid("sequence too long"));
+        }
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Reads a sequence written by [`WireWriter::put_packed_u64`].
+    pub fn get_packed_u64(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > (1 << 27) {
+            return Err(WireError::Invalid("packed sequence too long"));
+        }
+        let bits = self.get_u8()? as u32;
+        if !(1..=64).contains(&bits) {
+            return Err(WireError::Invalid("packed bit width"));
+        }
+        let total_bits = n as u64 * bits as u64;
+        let bytes = total_bits.div_ceil(8) as usize;
+        let data = self.take(bytes)?;
+        let mask: u128 = if bits == 64 { u64::MAX as u128 } else { (1u128 << bits) - 1 };
+        let mut out = Vec::with_capacity(n);
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut iter = data.iter();
+        for _ in 0..n {
+            while acc_bits < bits {
+                acc |= (*iter.next().ok_or(WireError::Truncated)? as u128) << acc_bits;
+                acc_bits += 8;
+            }
+            out.push((acc & mask) as u64);
+            acc >>= bits;
+            acc_bits -= bits;
+        }
+        Ok(out)
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte was consumed (trailing garbage is a
+    /// framing bug or an attack).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Invalid("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_sequences() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_len_bytes(b"hello");
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_u64_slice(&[9, 10]);
+        let bytes = w.finish();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().expect("u8"), 7);
+        assert_eq!(r.get_u32().expect("u32"), 0xdead_beef);
+        assert_eq!(r.get_u64().expect("u64"), u64::MAX);
+        assert_eq!(r.get_len_bytes().expect("bytes"), b"hello");
+        assert_eq!(r.get_u32_slice().expect("u32s"), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_slice().expect("u64s"), vec![9, 10]);
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = WireWriter::new();
+        w.put_u64_slice(&[1, 2, 3, 4]);
+        let bytes = w.finish();
+        for cut in [0usize, 3, 11, bytes.len() - 1] {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert!(r.get_u64_slice().is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(5);
+        let mut bytes = w.finish();
+        bytes.push(0);
+        let mut r = WireReader::new(&bytes);
+        let _ = r.get_u32().expect("u32");
+        assert_eq!(r.finish(), Err(WireError::Invalid("trailing bytes")));
+    }
+
+    #[test]
+    fn packed_u64_roundtrips_at_every_width() {
+        for bits in [1u32, 7, 8, 9, 31, 32, 44, 63, 64] {
+            let top = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let values = vec![0u64, 1, top / 2, top];
+            let mut w = WireWriter::new();
+            w.put_packed_u64(&values, bits);
+            let bytes = w.finish();
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(r.get_packed_u64().expect("packed"), values, "bits={bits}");
+            r.finish().expect("consumed");
+            // Size: 5-byte header + ceil(n*bits/8).
+            assert_eq!(bytes.len(), 5 + (4 * bits as usize).div_ceil(8));
+        }
+    }
+
+    #[test]
+    fn packed_u64_detects_truncation() {
+        let mut w = WireWriter::new();
+        w.put_packed_u64(&[(1u64 << 44) - 1; 9], 44);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes[..bytes.len() - 1]);
+        assert!(r.get_packed_u64().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefixes_bounded() {
+        // A length prefix of u32::MAX must not attempt the allocation.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.get_len_bytes().is_err());
+        let mut r2 = WireReader::new(&bytes);
+        assert!(r2.get_u64_slice().is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Arithmetic over `Z_q` for power-of-two ciphertext moduli.
+//!
+//! Tiptoe's inner (SimplePIR-style) encryption scheme works over
+//! `q = 2^64` for the ranking step and `q = 2^32` for the URL-retrieval
+//! step (paper, Appendix C). For power-of-two `q` matching a machine
+//! word, reduction modulo `q` is exactly the hardware wrap-around, so
+//! the [`Word`] trait below is a thin veneer over wrapping integer
+//! operations. Keeping it a trait lets the LWE layer be generic over
+//! both moduli without duplicating code.
+
+use std::fmt::Debug;
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// A machine word serving as an element of `Z_{2^BITS}`.
+///
+/// Implemented for [`u32`] (`q = 2^32`) and [`u64`] (`q = 2^64`). All
+/// operations wrap, which is the correct reduction for these moduli.
+pub trait Word:
+    Copy + Clone + Debug + Default + PartialEq + Eq + Send + Sync + 'static
+{
+    /// Bit width of the modulus (`log2 q`).
+    const BITS: u32;
+
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Wrapping addition modulo `2^BITS`.
+    fn wadd(self, rhs: Self) -> Self;
+
+    /// Wrapping subtraction modulo `2^BITS`.
+    fn wsub(self, rhs: Self) -> Self;
+
+    /// Wrapping multiplication modulo `2^BITS`.
+    fn wmul(self, rhs: Self) -> Self;
+
+    /// Wrapping negation modulo `2^BITS`.
+    fn wneg(self) -> Self;
+
+    /// Embeds a `u64`, truncating to the word width.
+    fn from_u64(x: u64) -> Self;
+
+    /// Widens to `u64` (zero-extending).
+    fn to_u64(self) -> u64;
+
+    /// Embeds a signed value as its representative modulo `2^BITS`.
+    fn from_i64(x: i64) -> Self;
+
+    /// Interprets this word as a signed representative in
+    /// `[-2^(BITS-1), 2^(BITS-1))`.
+    fn to_signed(self) -> i64;
+
+    /// Logical right shift.
+    fn shr(self, k: u32) -> Self;
+
+    /// Logical left shift (wrapping).
+    fn shl(self, k: u32) -> Self;
+
+    /// Appends this word to a wire message at its native width.
+    fn put_wire(self, w: &mut WireWriter);
+
+    /// Reads one word from a wire message at its native width.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input is truncated.
+    fn get_wire(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+impl Word for u32 {
+    const BITS: u32 = 32;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    #[inline(always)]
+    fn wadd(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+
+    #[inline(always)]
+    fn wsub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+
+    #[inline(always)]
+    fn wmul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+
+    #[inline(always)]
+    fn wneg(self) -> Self {
+        self.wrapping_neg()
+    }
+
+    #[inline(always)]
+    fn from_u64(x: u64) -> Self {
+        x as u32
+    }
+
+    #[inline(always)]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+
+    #[inline(always)]
+    fn from_i64(x: i64) -> Self {
+        x as u32
+    }
+
+    #[inline(always)]
+    fn to_signed(self) -> i64 {
+        self as i32 as i64
+    }
+
+    #[inline(always)]
+    fn shr(self, k: u32) -> Self {
+        self >> k
+    }
+
+    #[inline(always)]
+    fn shl(self, k: u32) -> Self {
+        self.wrapping_shl(k)
+    }
+
+    fn put_wire(self, w: &mut WireWriter) {
+        w.put_u32(self);
+    }
+
+    fn get_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_u32()
+    }
+}
+
+impl Word for u64 {
+    const BITS: u32 = 64;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    #[inline(always)]
+    fn wadd(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+
+    #[inline(always)]
+    fn wsub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+
+    #[inline(always)]
+    fn wmul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+
+    #[inline(always)]
+    fn wneg(self) -> Self {
+        self.wrapping_neg()
+    }
+
+    #[inline(always)]
+    fn from_u64(x: u64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn to_u64(self) -> u64 {
+        self
+    }
+
+    #[inline(always)]
+    fn from_i64(x: i64) -> Self {
+        x as u64
+    }
+
+    #[inline(always)]
+    fn to_signed(self) -> i64 {
+        self as i64
+    }
+
+    #[inline(always)]
+    fn shr(self, k: u32) -> Self {
+        self >> k
+    }
+
+    #[inline(always)]
+    fn shl(self, k: u32) -> Self {
+        self.wrapping_shl(k)
+    }
+
+    fn put_wire(self, w: &mut WireWriter) {
+        w.put_u64(self);
+    }
+
+    fn get_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+/// Rounds `x / 2^shift` to the nearest integer, staying in `Z_{2^BITS}`.
+///
+/// This is the rounding step of Regev decryption: the plaintext sits in
+/// the high-order bits and the (bounded) noise below is rounded away.
+#[inline(always)]
+pub fn round_shift<W: Word>(x: W, shift: u32) -> W {
+    if shift == 0 {
+        return x;
+    }
+    let half = W::ONE.shl(shift - 1);
+    x.wadd(half).shr(shift)
+}
+
+/// Centers `x mod m` into the signed range `(-m/2, m/2]` (for `m` a
+/// power of two, `[-m/2, m/2)`).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn center(x: u64, m: u64) -> i64 {
+    assert!(m != 0, "modulus must be nonzero");
+    let r = x % m;
+    if r > m / 2 {
+        -((m - r) as i64)
+    } else {
+        r as i64
+    }
+}
+
+/// Reduces a signed value into `[0, m)`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn reduce_signed(x: i64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    let m_i = m as i128;
+    let r = (x as i128).rem_euclid(m_i);
+    r as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_ops_match_u128_reference() {
+        let a: u64 = 0xdead_beef_cafe_f00d;
+        let b: u64 = 0xffff_ffff_0000_0001;
+        assert_eq!(a.wadd(b) as u128, (a as u128 + b as u128) % (1u128 << 64));
+        assert_eq!(a.wmul(b) as u128, (a as u128 * b as u128) % (1u128 << 64));
+        assert_eq!(a.wsub(b), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn word_signed_roundtrip() {
+        for x in [-5i64, -1, 0, 1, 7, i32::MAX as i64, i32::MIN as i64] {
+            assert_eq!(u64::from_i64(x).to_signed(), x);
+            let y = u32::from_i64(x).to_signed();
+            assert_eq!(y, x as i32 as i64);
+        }
+    }
+
+    #[test]
+    fn round_shift_rounds_to_nearest() {
+        // 12 / 8 = 1.5 -> 2, 11 / 8 = 1.375 -> 1.
+        assert_eq!(round_shift(12u64, 3), 2);
+        assert_eq!(round_shift(11u64, 3), 1);
+        assert_eq!(round_shift(0u64, 3), 0);
+        assert_eq!(round_shift(7u32, 0), 7);
+    }
+
+    #[test]
+    fn center_is_symmetric() {
+        assert_eq!(center(0, 16), 0);
+        assert_eq!(center(7, 16), 7);
+        assert_eq!(center(8, 16), 8);
+        assert_eq!(center(9, 16), -7);
+        assert_eq!(center(15, 16), -1);
+    }
+
+    #[test]
+    fn reduce_signed_inverts_center() {
+        for m in [16u64, 17, 1 << 20] {
+            for x in 0..m.min(64) {
+                assert_eq!(reduce_signed(center(x, m), m), x % m);
+            }
+        }
+    }
+}

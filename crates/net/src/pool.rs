@@ -1,0 +1,156 @@
+//! A message-passing worker pool: the deployment shape of the paper's
+//! coordinator/worker fan-out (§4.3), with real threads and channels.
+//!
+//! [`crate::simulate_parallel`] measures shards sequentially so that
+//! single-core timing stays undistorted; this pool is the *structural*
+//! counterpart — requests travel over channels to long-lived worker
+//! threads exactly as ciphertext chunks travel to worker machines, and
+//! responses are collected by the caller (the coordinator). Services
+//! use it for the multi-client throughput driver, where concurrency is
+//! the point rather than a measurement hazard.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+/// One in-flight request: the payload plus a reply channel.
+struct Job<Req, Resp> {
+    request: Req,
+    reply: Sender<(usize, Resp)>,
+}
+
+/// A pool of worker threads, one per shard.
+pub struct WorkerPool<Req: Send + 'static, Resp: Send + 'static> {
+    senders: Vec<Sender<Job<Req, Resp>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
+    /// Spawns `workers` threads; worker `i` serves every request sent
+    /// to index `i` with `handler(i, request)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn<F>(workers: usize, handler: F) -> Self
+    where
+        F: Fn(usize, Req) -> Resp + Send + Sync + Clone + 'static,
+    {
+        assert!(workers > 0, "need at least one worker");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let (tx, rx) = unbounded::<Job<Req, Resp>>();
+            let handler = handler.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tiptoe-worker-{idx}"))
+                .spawn(move || {
+                    // The worker loop ends when every sender is dropped.
+                    while let Ok(job) = rx.recv() {
+                        let resp = handler(idx, job.request);
+                        // A dropped reply receiver just means the
+                        // coordinator gave up on this fan-out.
+                        let _ = job.reply.send((idx, resp));
+                    }
+                })
+                .expect("spawning a worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Coordinator fan-out: sends request `i` to worker `i` and waits
+    /// for all responses, returned in worker order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != workers()` or a worker died.
+    pub fn scatter_gather(&self, requests: Vec<Req>) -> Vec<Resp> {
+        assert_eq!(requests.len(), self.workers(), "one request per worker");
+        let (reply_tx, reply_rx) = unbounded();
+        for (sender, request) in self.senders.iter().zip(requests) {
+            sender
+                .send(Job { request, reply: reply_tx.clone() })
+                .expect("worker thread alive");
+        }
+        drop(reply_tx);
+        let mut responses: Vec<Option<Resp>> = (0..self.workers()).map(|_| None).collect();
+        for _ in 0..self.workers() {
+            let (idx, resp) = reply_rx.recv().expect("worker thread alive");
+            responses[idx] = Some(resp);
+        }
+        responses.into_iter().map(|r| r.expect("every worker replied")).collect()
+    }
+
+    /// Sends one request to a specific worker and waits for the reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or the worker died.
+    pub fn call(&self, worker: usize, request: Req) -> Resp {
+        assert!(worker < self.workers(), "worker index out of range");
+        let (reply_tx, reply_rx) = unbounded();
+        self.senders[worker]
+            .send(Job { request, reply: reply_tx })
+            .expect("worker thread alive");
+        reply_rx.recv().expect("worker thread alive").1
+    }
+
+    /// Shuts the pool down, joining every worker.
+    pub fn shutdown(self) {
+        drop(self.senders);
+        for handle in self.handles {
+            handle.join().expect("worker thread exits cleanly");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn scatter_gather_preserves_worker_order() {
+        let pool: WorkerPool<u64, u64> = WorkerPool::spawn(4, |idx, x| x * 10 + idx as u64);
+        let out = pool.scatter_gather(vec![1, 2, 3, 4]);
+        assert_eq!(out, vec![10, 21, 32, 43]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn call_routes_to_the_right_worker() {
+        let pool: WorkerPool<(), usize> = WorkerPool::spawn(3, |idx, ()| idx);
+        assert_eq!(pool.call(2, ()), 2);
+        assert_eq!(pool.call(0, ()), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn workers_process_many_requests() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let pool: WorkerPool<usize, usize> = WorkerPool::spawn(2, move |_, x| {
+            c.fetch_add(1, Ordering::SeqCst);
+            x + 1
+        });
+        for round in 0..50 {
+            let out = pool.scatter_gather(vec![round, round * 2]);
+            assert_eq!(out, vec![round + 1, round * 2 + 1]);
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let pool: WorkerPool<u8, u8> = WorkerPool::spawn(2, |_, x| x);
+        pool.shutdown(); // Must not hang or panic.
+    }
+}

@@ -1,0 +1,143 @@
+//! Packing byte blobs into `Z_p` database entries.
+//!
+//! SimplePIR databases store elements of `Z_p`; each element can carry
+//! `⌊log2 p⌋` bits of record data. This module provides the bit-level
+//! packing and unpacking between byte blobs and entry vectors.
+
+/// Packs bytes into `Z_p` entries at `⌊log2 p⌋` bits per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitPacker {
+    bits_per_entry: u32,
+}
+
+impl BitPacker {
+    /// Creates a packer for plaintext modulus `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2` (no capacity) or `p > 2^30`.
+    pub fn new(p: u64) -> Self {
+        assert!((2..=1 << 30).contains(&p), "modulus out of packing range");
+        let bits = 63 - p.leading_zeros();
+        Self { bits_per_entry: bits }
+    }
+
+    /// Bits carried by one entry.
+    pub fn bits_per_entry(&self) -> u32 {
+        self.bits_per_entry
+    }
+
+    /// Number of entries needed for `len` bytes.
+    pub fn entries_for(&self, len: usize) -> usize {
+        (len * 8).div_ceil(self.bits_per_entry as usize)
+    }
+
+    /// Packs `bytes` (zero-padded to `padded_len`) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > padded_len`.
+    pub fn pack_into(&self, bytes: &[u8], padded_len: usize, out: &mut Vec<u32>) {
+        assert!(bytes.len() <= padded_len, "record longer than padded length");
+        let total_bits = padded_len * 8;
+        let bits = self.bits_per_entry as usize;
+        let mut bit_pos = 0usize;
+        while bit_pos < total_bits {
+            let mut value = 0u32;
+            for offset in 0..bits {
+                let idx = bit_pos + offset;
+                if idx >= total_bits {
+                    break;
+                }
+                let byte = bytes.get(idx / 8).copied().unwrap_or(0);
+                let bit = (byte >> (idx % 8)) & 1;
+                value |= (bit as u32) << offset;
+            }
+            out.push(value);
+            bit_pos += bits;
+        }
+    }
+
+    /// Packs a record into a fresh vector.
+    pub fn pack(&self, bytes: &[u8], padded_len: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.entries_for(padded_len));
+        self.pack_into(bytes, padded_len, &mut out);
+        out
+    }
+
+    /// Unpacks entries back into `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is too short for `len` bytes.
+    pub fn unpack(&self, entries: &[u32], len: usize) -> Vec<u8> {
+        assert!(
+            entries.len() >= self.entries_for(len),
+            "not enough entries ({}) for {} bytes",
+            entries.len(),
+            len
+        );
+        let bits = self.bits_per_entry as usize;
+        let mut out = vec![0u8; len];
+        for (i, &e) in entries.iter().enumerate() {
+            for offset in 0..bits {
+                let idx = i * bits + offset;
+                if idx >= len * 8 {
+                    break;
+                }
+                let bit = (e >> offset) & 1;
+                out[idx / 8] |= (bit as u8) << (idx % 8);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_moduli() {
+        let data: Vec<u8> = (0..=255).collect();
+        for p in [3u64, 4, 991, 65536, 1 << 17] {
+            let packer = BitPacker::new(p);
+            let packed = packer.pack(&data, data.len());
+            assert!(packed.iter().all(|&e| (e as u64) < p), "entry exceeds p={p}");
+            let got = packer.unpack(&packed, data.len());
+            assert_eq!(got, data, "roundtrip failed for p={p}");
+        }
+    }
+
+    #[test]
+    fn p_991_gives_nine_bits() {
+        let packer = BitPacker::new(991);
+        assert_eq!(packer.bits_per_entry(), 9);
+        assert_eq!(packer.entries_for(9), 8); // 72 bits / 9
+    }
+
+    #[test]
+    fn padding_extends_with_zero_entries() {
+        let packer = BitPacker::new(991);
+        let packed = packer.pack(&[0xff, 0xff], 4);
+        assert_eq!(packed.len(), packer.entries_for(4));
+        let got = packer.unpack(&packed, 4);
+        assert_eq!(got, vec![0xff, 0xff, 0, 0]);
+    }
+
+    #[test]
+    fn empty_record_packs_to_nothing() {
+        let packer = BitPacker::new(991);
+        assert!(packer.pack(&[], 0).is_empty());
+        assert!(packer.unpack(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn capacity_matches_paper_chunk_sizing() {
+        // Appendix C: URL batches of <= 40 KiB pack into the PIR
+        // database at p ≈ 991 (9 bits/entry): ~36k entries per record.
+        let packer = BitPacker::new(991);
+        let entries = packer.entries_for(40 << 10);
+        assert!((36_000..=37_000).contains(&entries), "got {entries}");
+    }
+}

@@ -1,0 +1,690 @@
+//! The "outer" ring-LWE encryption scheme `Enc2` (paper §6.2, App. A).
+//!
+//! Tiptoe compresses the large post-evaluation ciphertexts of the inner
+//! (SimplePIR-style) scheme by outsourcing their decryption to the
+//! server: the client encrypts the inner secret key under this second
+//! scheme, and the server evaluates the linear part of inner decryption
+//! (`hint · s`) homomorphically. What the outer scheme must support is
+//! therefore exactly:
+//!
+//! - encrypting small scalars (the ternary inner secret-key entries),
+//! - multiplying ciphertexts by *public* polynomials (hint columns),
+//! - accumulating many such products, and
+//! - compact ciphertexts after evaluation (+ modulus switching to
+//!   shrink the download further).
+//!
+//! We implement a secret-key BFV-flavored scheme over
+//! `R_Q = Z_Q[x]/(x^N + 1)` with `N = 2048`, a 62-bit NTT-friendly
+//! prime `Q`, plaintext modulus `t = 2^28`, and ternary keys. Fresh
+//! ciphertexts are *seeded* (the uniform `a` component travels as a PRG
+//! seed), halving upload size exactly as in the paper's deployments.
+//!
+//! Parameter deviation from the paper's SEAL instantiation
+//! (`t = 65537`, 38-bit `Q`) is documented in `DESIGN.md` §2: our
+//! power-of-two `t` makes the limb recombination in `tiptoe-underhood`
+//! exactly correct, which we prefer over replicating SEAL's plaintext
+//! CRT packing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use rand::Rng;
+use tiptoe_math::ntt::NttTable;
+use tiptoe_math::poly::{Domain, Poly};
+use tiptoe_math::rng::{derive_seed, seeded_rng};
+use tiptoe_math::sample::{gaussian_i64, ternary_vec};
+use tiptoe_math::wire::{WireError, WireReader, WireWriter};
+
+/// Parameters of the outer RLWE scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlweParams {
+    /// Ring degree `N` (a power of two).
+    pub degree: usize,
+    /// Bit size of the NTT-friendly prime ciphertext modulus `Q`.
+    pub q_bits: u32,
+    /// Plaintext modulus `t` (a power of two in this workspace).
+    pub t: u64,
+    /// Error standard deviation.
+    pub sigma: f64,
+}
+
+impl RlweParams {
+    /// The production parameters used throughout the workspace:
+    /// `N = 2048`, 62-bit `Q`, `t = 2^28`, σ = 3.2.
+    ///
+    /// `t = 2^28` is chosen so that a sum of `n ≤ 2048` products of
+    /// 16-bit hint limbs with ternary secret entries
+    /// (`|Σ| ≤ 2048 · (2^16 - 1) < 2^27`) never wraps modulo `t`.
+    pub fn production() -> Self {
+        Self { degree: 2048, q_bits: 62, t: 1 << 28, sigma: 3.2 }
+    }
+
+    /// Small parameters for fast unit tests (not secure).
+    pub fn insecure_test() -> Self {
+        Self { degree: 64, q_bits: 50, t: 1 << 20, sigma: 3.2 }
+    }
+}
+
+/// Shared precomputed state: parameters plus NTT tables.
+#[derive(Debug, Clone)]
+pub struct RlweContext {
+    params: RlweParams,
+    table: Arc<NttTable>,
+    /// `Δ = ⌊Q/t⌋`.
+    delta: u64,
+}
+
+impl RlweContext {
+    /// Builds the context, deriving the NTT-friendly prime modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (`t ≥ Q/4`, degree
+    /// not a power of two, …).
+    pub fn new(params: RlweParams) -> Self {
+        let table = Arc::new(NttTable::new(params.degree, params.q_bits));
+        let q = table.modulus().value();
+        assert!(params.t >= 2 && params.t < q / 4, "plaintext modulus out of range");
+        let delta = q / params.t;
+        Self { params, table, delta }
+    }
+
+    /// The scheme parameters.
+    pub fn params(&self) -> &RlweParams {
+        &self.params
+    }
+
+    /// The NTT table (shared by all polynomials of this context).
+    pub fn table(&self) -> &Arc<NttTable> {
+        &self.table
+    }
+
+    /// The ciphertext modulus `Q`.
+    pub fn q(&self) -> u64 {
+        self.table.modulus().value()
+    }
+
+    /// The plaintext scale `Δ = ⌊Q/t⌋`.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Encodes a signed plaintext value as `round(m·Q/t) mod Q`.
+    ///
+    /// The exact rational scaling (rather than `Δ·(m mod t)`) keeps the
+    /// encoding error below `1/2` even for negative `m`, which matters
+    /// because homomorphic plaintext multiplication amplifies any
+    /// encoding error by `‖h‖`.
+    pub fn encode_plain(&self, m: i64) -> u64 {
+        let q = self.q() as i128;
+        let t = self.params.t as i128;
+        let num = m as i128 * q;
+        let rounded = (num + (t >> 1)).div_euclid(t);
+        rounded.rem_euclid(q) as u64
+    }
+
+    /// Smallest safe modulus-switch target: the switch adds a rounding
+    /// noise of about `z·0.5·√(2N/3)` (ternary key, half-unit rounding
+    /// errors), which must stay below the switched scale `Q'/(2t)`;
+    /// `log2(t) + 12` leaves a ≥8x margin at `N = 2048`.
+    pub fn min_switch_log_q2(&self) -> u32 {
+        let t_bits = 63 - self.params.t.leading_zeros();
+        t_bits + 12
+    }
+
+    /// Prepares a public plaintext polynomial (given as unsigned values
+    /// `< 2^16`, e.g. hint limbs) in NTT form for repeated
+    /// multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    pub fn plaintext_ntt(&self, coeffs: &[u64]) -> Poly {
+        assert_eq!(coeffs.len(), self.params.degree, "degree mismatch");
+        let m = self.table.modulus();
+        let reduced: Vec<u64> = coeffs.iter().map(|&c| m.reduce(c)).collect();
+        let mut p = Poly::from_coeffs(Arc::clone(&self.table), reduced);
+        p.to_ntt();
+        p
+    }
+
+    /// Prepares a public plaintext polynomial in Shoup-precomputed NTT
+    /// form, for the token-generation hot loop (the hint polynomials
+    /// are fixed across queries, so the precomputation amortizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`.
+    pub fn plaintext_shoup(&self, coeffs: &[u64]) -> tiptoe_math::ntt::ShoupPoly {
+        let p = self.plaintext_ntt(coeffs);
+        self.table.prepare_shoup(p.data())
+    }
+}
+
+/// A ternary RLWE secret key.
+#[derive(Debug, Clone)]
+pub struct RlweSecretKey {
+    /// Ternary coefficients (kept for modulus-switched decryption).
+    ternary: Vec<i64>,
+    /// NTT-domain form (for fast standard decryption).
+    s_ntt: Poly,
+}
+
+impl RlweSecretKey {
+    /// Samples a fresh ternary key.
+    pub fn generate<R: Rng + ?Sized>(ctx: &RlweContext, rng: &mut R) -> Self {
+        let ternary = ternary_vec(rng, ctx.params.degree);
+        let mut s_ntt = Poly::from_signed(Arc::clone(&ctx.table), &ternary);
+        s_ntt.to_ntt();
+        Self { ternary, s_ntt }
+    }
+
+    /// The key's ternary coefficients.
+    pub fn ternary(&self) -> &[i64] {
+        &self.ternary
+    }
+}
+
+/// A fresh, *seeded* ciphertext: the uniform component `a` travels as a
+/// PRG seed (the SimplePIR/SEAL trick that halves upload size).
+#[derive(Debug, Clone)]
+pub struct SeededRlweCiphertext {
+    /// Seed from which the `a` polynomial expands.
+    pub a_seed: u64,
+    /// The `b = a·s + e + Δ·m` polynomial, in coefficient domain.
+    pub b_coeffs: Vec<u64>,
+}
+
+impl SeededRlweCiphertext {
+    /// Wire size in bytes: seed + count prefix + `N` 8-byte
+    /// coefficients.
+    pub fn byte_len(&self) -> u64 {
+        12 + 8 * self.b_coeffs.len() as u64
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u64(self.a_seed);
+        w.put_u64_slice(&self.b_coeffs);
+    }
+
+    /// Serializes to a standalone message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.byte_len() as usize);
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Parses one ciphertext from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { a_seed: r.get_u64()?, b_coeffs: r.get_u64_slice()? })
+    }
+}
+
+/// An expanded (or evaluated) ciphertext with both components in NTT
+/// domain, ready for homomorphic operations.
+#[derive(Debug, Clone)]
+pub struct RlweCiphertext {
+    /// The `a` component (NTT domain).
+    pub a: Poly,
+    /// The `b` component (NTT domain).
+    pub b: Poly,
+}
+
+impl RlweCiphertext {
+    /// An encryption-of-zero accumulator (both components zero).
+    pub fn zero(ctx: &RlweContext) -> Self {
+        let mut a = Poly::zero(Arc::clone(&ctx.table));
+        let mut b = Poly::zero(Arc::clone(&ctx.table));
+        a.to_ntt();
+        b.to_ntt();
+        Self { a, b }
+    }
+
+    /// Wire size in bytes: two polynomials of `N` 8-byte words.
+    pub fn byte_len(&self) -> u64 {
+        16 * self.a.data().len() as u64
+    }
+}
+
+/// Expands the uniform `a` polynomial from a seed (coefficient domain).
+fn expand_a(ctx: &RlweContext, seed: u64) -> Poly {
+    let q = ctx.q();
+    let mut rng = seeded_rng(derive_seed(seed, 0x524c_5745));
+    let coeffs: Vec<u64> = (0..ctx.params.degree).map(|_| rng.gen_range(0..q)).collect();
+    Poly::from_coeffs(Arc::clone(&ctx.table), coeffs)
+}
+
+/// Encrypts a plaintext polynomial given by signed coefficients
+/// (interpreted modulo `t`): `b = a·s + e + Δ·m`.
+///
+/// # Panics
+///
+/// Panics if `m_signed.len() != N`.
+pub fn encrypt<R: Rng + ?Sized>(
+    ctx: &RlweContext,
+    sk: &RlweSecretKey,
+    m_signed: &[i64],
+    a_seed: u64,
+    rng: &mut R,
+) -> SeededRlweCiphertext {
+    assert_eq!(m_signed.len(), ctx.params.degree, "degree mismatch");
+    let modulus = *ctx.table.modulus();
+    let mut a = expand_a(ctx, a_seed);
+    a.to_ntt();
+    let mut b = a.mul_ntt(&sk.s_ntt);
+    b.to_coeff();
+    let b_coeffs: Vec<u64> = b
+        .coeffs()
+        .iter()
+        .zip(m_signed.iter())
+        .map(|(&as_c, &m)| {
+            let e = gaussian_i64(rng, ctx.params.sigma);
+            let noise_and_msg = modulus.add(modulus.reduce_signed(e), ctx.encode_plain(m));
+            modulus.add(as_c, noise_and_msg)
+        })
+        .collect();
+    SeededRlweCiphertext { a_seed, b_coeffs }
+}
+
+/// Encrypts the constant polynomial `c` (the shape used for the inner
+/// secret-key entries `z_i = Enc2(s_i)`).
+pub fn encrypt_scalar<R: Rng + ?Sized>(
+    ctx: &RlweContext,
+    sk: &RlweSecretKey,
+    c: i64,
+    a_seed: u64,
+    rng: &mut R,
+) -> SeededRlweCiphertext {
+    let mut m = vec![0i64; ctx.params.degree];
+    m[0] = c;
+    encrypt(ctx, sk, &m, a_seed, rng)
+}
+
+/// Expands a seeded ciphertext into NTT form for evaluation.
+pub fn expand(ctx: &RlweContext, ct: &SeededRlweCiphertext) -> RlweCiphertext {
+    let mut a = expand_a(ctx, ct.a_seed);
+    a.to_ntt();
+    let mut b = Poly::from_coeffs(Arc::clone(&ctx.table), ct.b_coeffs.clone());
+    b.to_ntt();
+    RlweCiphertext { a, b }
+}
+
+/// Homomorphic multiply-accumulate by a public polynomial:
+/// `acc += h · z`, all operands in NTT domain.
+///
+/// # Panics
+///
+/// Panics if `h` is not in NTT domain.
+pub fn mul_plain_acc(acc: &mut RlweCiphertext, h_ntt: &Poly, z: &RlweCiphertext) {
+    assert_eq!(h_ntt.domain(), Domain::Ntt, "plaintext must be in NTT domain");
+    acc.a.mul_acc_ntt(h_ntt, &z.a);
+    acc.b.mul_acc_ntt(h_ntt, &z.b);
+}
+
+/// Homomorphic addition: `acc += z`.
+pub fn add_assign(acc: &mut RlweCiphertext, z: &RlweCiphertext) {
+    acc.a.add_assign(&z.a);
+    acc.b.add_assign(&z.b);
+}
+
+/// Decrypts to centered (signed) plaintext coefficients modulo `t`.
+pub fn decrypt(ctx: &RlweContext, sk: &RlweSecretKey, ct: &RlweCiphertext) -> Vec<i64> {
+    let mut y = ct.b.clone();
+    let a_s = ct.a.mul_ntt(&sk.s_ntt);
+    y.sub_assign(&a_s);
+    y.to_coeff();
+    let q = ctx.q() as u128;
+    let t = ctx.params.t as u128;
+    y.coeffs()
+        .iter()
+        .map(|&c| {
+            let v = ((c as u128 * t + q / 2) / q) as u64 % ctx.params.t;
+            tiptoe_math::zq::center(v, ctx.params.t)
+        })
+        .collect()
+}
+
+/// Measures the remaining noise budget (bits) of a ciphertext whose
+/// plaintext is known. Returns `log2(Δ/2) - log2(max |noise|)`;
+/// negative values mean decryption already failed.
+pub fn noise_budget_bits(
+    ctx: &RlweContext,
+    sk: &RlweSecretKey,
+    ct: &RlweCiphertext,
+    expected_signed: &[i64],
+) -> f64 {
+    let modulus = *ctx.table.modulus();
+    let mut y = ct.b.clone();
+    let a_s = ct.a.mul_ntt(&sk.s_ntt);
+    y.sub_assign(&a_s);
+    y.to_coeff();
+    let mut max_noise = 0u64;
+    for (&c, &m) in y.coeffs().iter().zip(expected_signed.iter()) {
+        let expected = ctx.encode_plain(m);
+        let noise = modulus.center(modulus.sub(c, expected)).unsigned_abs();
+        max_noise = max_noise.max(noise);
+    }
+    let budget = (ctx.delta / 2) as f64;
+    (budget.log2()) - (max_noise.max(1) as f64).log2()
+}
+
+/// A modulus-switched ciphertext over `Z_{2^log_q2}`, in coefficient
+/// domain — this is the compact form that travels to the client.
+#[derive(Debug, Clone)]
+pub struct SwitchedCiphertext {
+    /// `a` coefficients modulo `2^log_q2`.
+    pub a: Vec<u64>,
+    /// `b` coefficients modulo `2^log_q2`.
+    pub b: Vec<u64>,
+    /// log2 of the switched modulus.
+    pub log_q2: u32,
+}
+
+impl SwitchedCiphertext {
+    /// Wire size in bytes: a width byte plus two bit-packed
+    /// coefficient vectors of `log_q2` bits per value.
+    pub fn byte_len(&self) -> u64 {
+        let packed = |n: u64| 5 + (n * self.log_q2 as u64).div_ceil(8);
+        1 + packed(self.a.len() as u64) + packed(self.b.len() as u64)
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u8(self.log_q2 as u8);
+        w.put_packed_u64(&self.a, self.log_q2);
+        w.put_packed_u64(&self.b, self.log_q2);
+    }
+
+    /// Serializes to a standalone message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.byte_len() as usize);
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Parses one switched ciphertext from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or an invalid modulus width.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let log_q2 = r.get_u8()? as u32;
+        if !(2..=63).contains(&log_q2) {
+            return Err(WireError::Invalid("switched modulus width"));
+        }
+        let a = r.get_packed_u64()?;
+        let b = r.get_packed_u64()?;
+        Ok(Self { a, b, log_q2 })
+    }
+}
+
+/// Switches a ciphertext from modulus `Q` down to `2^log_q2`
+/// (`c' = round(c · 2^log_q2 / Q)`), shrinking the download at the cost
+/// of a small additive rounding noise.
+///
+/// # Panics
+///
+/// Panics if `log_q2` is not in `(log2 t + 2, 63]`.
+pub fn mod_switch(ctx: &RlweContext, ct: &RlweCiphertext, log_q2: u32) -> SwitchedCiphertext {
+    let t_bits = 63 - ctx.params.t.leading_zeros();
+    assert!(log_q2 > t_bits + 2 && log_q2 <= 63, "switched modulus out of range");
+    let q = ctx.q() as u128;
+    let q2 = 1u128 << log_q2;
+    let mask = (q2 - 1) as u64;
+    let switch = |poly: &Poly| -> Vec<u64> {
+        let mut p = poly.clone();
+        p.to_coeff();
+        p.coeffs()
+            .iter()
+            .map(|&c| (((c as u128 * q2 + q / 2) / q) as u64) & mask)
+            .collect()
+    };
+    SwitchedCiphertext { a: switch(&ct.a), b: switch(&ct.b), log_q2 }
+}
+
+/// Decrypts a modulus-switched ciphertext. The negacyclic product
+/// `a·s` is computed schoolbook over `Z_{2^log_q2}` (client-side cost:
+/// `N²` word operations, a few milliseconds at `N = 2048`).
+pub fn decrypt_switched(
+    ctx: &RlweContext,
+    sk: &RlweSecretKey,
+    ct: &SwitchedCiphertext,
+) -> Vec<i64> {
+    let n = ctx.params.degree;
+    assert_eq!(ct.a.len(), n, "degree mismatch");
+    let mask = if ct.log_q2 == 63 { (1u64 << 63) - 1 } else { (1u64 << ct.log_q2) - 1 };
+    // Negacyclic a·s with ternary s: coefficient k of a·s is
+    // sum_{i+j=k} a_i s_j - sum_{i+j=k+n} a_i s_j.
+    let mut a_s = vec![0u64; n];
+    for (j, &s_j) in sk.ternary.iter().enumerate() {
+        if s_j == 0 {
+            continue;
+        }
+        if s_j == 1 {
+            for i in 0..n - j {
+                a_s[i + j] = a_s[i + j].wrapping_add(ct.a[i]);
+            }
+            for i in n - j..n {
+                a_s[i + j - n] = a_s[i + j - n].wrapping_sub(ct.a[i]);
+            }
+        } else {
+            for i in 0..n - j {
+                a_s[i + j] = a_s[i + j].wrapping_sub(ct.a[i]);
+            }
+            for i in n - j..n {
+                a_s[i + j - n] = a_s[i + j - n].wrapping_add(ct.a[i]);
+            }
+        }
+    }
+    let q2 = 1u128 << ct.log_q2;
+    let t = ctx.params.t as u128;
+    ct.b
+        .iter()
+        .zip(a_s.iter())
+        .map(|(&b, &as_c)| {
+            let y = (b.wrapping_sub(as_c) & mask) as u128;
+            let v = ((y * t + q2 / 2) >> ct.log_q2) as u64 % ctx.params.t;
+            tiptoe_math::zq::center(v, ctx.params.t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::rng::seeded_rng;
+
+    fn ctx() -> RlweContext {
+        RlweContext::new(RlweParams::insecure_test())
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let ctx = ctx();
+        let mut rng = seeded_rng(1);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let m: Vec<i64> = (0..ctx.params().degree).map(|i| (i as i64 % 37) - 18).collect();
+        let ct = encrypt(&ctx, &sk, &m, 7, &mut rng);
+        let got = decrypt(&ctx, &sk, &expand(&ctx, &ct));
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn scalar_encryption_puts_value_in_constant_term() {
+        let ctx = ctx();
+        let mut rng = seeded_rng(2);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        for c in [-1i64, 0, 1, 5] {
+            let ct = encrypt_scalar(&ctx, &sk, c, 13, &mut rng);
+            let got = decrypt(&ctx, &sk, &expand(&ctx, &ct));
+            assert_eq!(got[0], c);
+            assert!(got[1..].iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn homomorphic_plain_mul_matches_plaintext_product() {
+        // Enc(s_i) * h(x) decrypts to s_i * h(x).
+        let ctx = ctx();
+        let mut rng = seeded_rng(3);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let n = ctx.params().degree;
+        let h_coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % 1000).collect();
+        let h = ctx.plaintext_ntt(&h_coeffs);
+
+        let z = expand(&ctx, &encrypt_scalar(&ctx, &sk, -1, 21, &mut rng));
+        let mut acc = RlweCiphertext::zero(&ctx);
+        mul_plain_acc(&mut acc, &h, &z);
+        let got = decrypt(&ctx, &sk, &acc);
+        let want: Vec<i64> = h_coeffs.iter().map(|&c| -(c as i64)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn accumulated_products_match_linear_combination() {
+        // sum_i s_i * h_i(x): the exact computation underhood performs.
+        let ctx = ctx();
+        let mut rng = seeded_rng(4);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let n = ctx.params().degree;
+        let k = 32;
+        let secrets: Vec<i64> = (0..k).map(|_| tiptoe_math::sample::ternary_i64(&mut rng)).collect();
+        let columns: Vec<Vec<u64>> = (0..k)
+            .map(|c| (0..n).map(|r| ((r * 13 + c * 7 + 1) % 60000) as u64).collect())
+            .collect();
+
+        let mut acc = RlweCiphertext::zero(&ctx);
+        for (i, col) in columns.iter().enumerate() {
+            let z = expand(&ctx, &encrypt_scalar(&ctx, &sk, secrets[i], 100 + i as u64, &mut rng));
+            let h = ctx.plaintext_ntt(col);
+            mul_plain_acc(&mut acc, &h, &z);
+        }
+        let got = decrypt(&ctx, &sk, &acc);
+        let want: Vec<i64> = (0..n)
+            .map(|r| secrets.iter().zip(columns.iter()).map(|(&s, col)| s * col[r] as i64).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn noise_budget_positive_after_accumulation() {
+        let ctx = RlweContext::new(RlweParams::production());
+        let mut rng = seeded_rng(5);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let n = ctx.params().degree;
+        let k = 64; // Scaled-down accumulation depth (full depth tested in underhood).
+        let mut acc = RlweCiphertext::zero(&ctx);
+        let mut want = vec![0i64; n];
+        for i in 0..k {
+            let s_i = tiptoe_math::sample::ternary_i64(&mut rng);
+            let col: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 16)).collect();
+            let z = expand(&ctx, &encrypt_scalar(&ctx, &sk, s_i, i as u64, &mut rng));
+            let h = ctx.plaintext_ntt(&col);
+            mul_plain_acc(&mut acc, &h, &z);
+            for (w, &c) in want.iter_mut().zip(col.iter()) {
+                *w += s_i * c as i64;
+            }
+        }
+        let budget = noise_budget_bits(&ctx, &sk, &acc, &want);
+        assert!(budget > 4.0, "noise budget too low: {budget}");
+        assert_eq!(decrypt(&ctx, &sk, &acc), want);
+    }
+
+    #[test]
+    fn mod_switch_preserves_plaintext() {
+        let ctx = RlweContext::new(RlweParams::production());
+        let mut rng = seeded_rng(6);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let n = ctx.params().degree;
+        let m: Vec<i64> = (0..n).map(|i| ((i as i64 * 7919) % (1 << 27)) - (1 << 26)).collect();
+        let ct = expand(&ctx, &encrypt(&ctx, &sk, &m, 3, &mut rng));
+        let switched = mod_switch(&ctx, &ct, 44);
+        let got = decrypt_switched(&ctx, &sk, &switched);
+        assert_eq!(got, m);
+        assert!(switched.byte_len() < ct.byte_len(), "switching should shrink the wire size");
+    }
+
+    #[test]
+    fn mod_switch_after_accumulation_still_decrypts() {
+        let ctx = RlweContext::new(RlweParams::production());
+        let mut rng = seeded_rng(7);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let n = ctx.params().degree;
+        let mut acc = RlweCiphertext::zero(&ctx);
+        let mut want = vec![0i64; n];
+        for i in 0..32 {
+            let s_i = tiptoe_math::sample::ternary_i64(&mut rng);
+            let col: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1u64 << 16)).collect();
+            let z = expand(&ctx, &encrypt_scalar(&ctx, &sk, s_i, 50 + i, &mut rng));
+            let h = ctx.plaintext_ntt(&col);
+            mul_plain_acc(&mut acc, &h, &z);
+            for (w, &c) in want.iter_mut().zip(col.iter()) {
+                *w += s_i * c as i64;
+            }
+        }
+        let switched = mod_switch(&ctx, &acc, 44);
+        assert_eq!(decrypt_switched(&ctx, &sk, &switched), want);
+    }
+
+    #[test]
+    fn seeded_ciphertext_halves_upload() {
+        let ctx = ctx();
+        let mut rng = seeded_rng(8);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let ct = encrypt_scalar(&ctx, &sk, 1, 9, &mut rng);
+        let expanded = expand(&ctx, &ct);
+        // Seed + framing vs two full polynomials.
+        assert!(ct.byte_len() <= expanded.byte_len() / 2 + 16);
+    }
+
+    #[test]
+    fn seeded_ciphertext_wire_roundtrip() {
+        let ctx = ctx();
+        let mut rng = seeded_rng(20);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let ct = encrypt_scalar(&ctx, &sk, -1, 5, &mut rng);
+        let bytes = ct.encode();
+        assert_eq!(bytes.len() as u64, ct.byte_len());
+        let mut r = tiptoe_math::wire::WireReader::new(&bytes);
+        let back = SeededRlweCiphertext::decode_from(&mut r).expect("decodes");
+        r.finish().expect("consumed");
+        assert_eq!(back.a_seed, ct.a_seed);
+        assert_eq!(back.b_coeffs, ct.b_coeffs);
+    }
+
+    #[test]
+    fn switched_ciphertext_wire_roundtrip() {
+        let ctx = RlweContext::new(RlweParams::production());
+        let mut rng = seeded_rng(21);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let m = vec![3i64; ctx.params().degree];
+        let ct = expand(&ctx, &encrypt(&ctx, &sk, &m, 6, &mut rng));
+        let switched = mod_switch(&ctx, &ct, 44);
+        let bytes = switched.encode();
+        assert_eq!(bytes.len() as u64, switched.byte_len());
+        let mut r = tiptoe_math::wire::WireReader::new(&bytes);
+        let back = SwitchedCiphertext::decode_from(&mut r).expect("decodes");
+        r.finish().expect("consumed");
+        assert_eq!(back.a, switched.a);
+        assert_eq!(back.b, switched.b);
+        assert_eq!(decrypt_switched(&ctx, &sk, &back), m);
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let ctx = ctx();
+        let mut rng = seeded_rng(9);
+        let sk = RlweSecretKey::generate(&ctx, &mut rng);
+        let other = RlweSecretKey::generate(&ctx, &mut rng);
+        let m: Vec<i64> = (0..ctx.params().degree).map(|i| i as i64 % 100).collect();
+        let ct = expand(&ctx, &encrypt(&ctx, &sk, &m, 10, &mut rng));
+        assert_ne!(decrypt(&ctx, &other, &ct), m);
+    }
+}

@@ -1,0 +1,63 @@
+//! Incremental corpus updates (paper §3.2): index new documents into a
+//! live deployment without repeating the cryptographic preprocessing.
+//!
+//! ```text
+//! cargo run --release --example corpus_update
+//! ```
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_core::update::UpdateError;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_math::stats::fmt_bytes;
+
+fn main() {
+    let corpus = generate(&CorpusConfig::small(1200, 19), 0);
+    let config = TiptoeConfig::test_small(1200, 19);
+    let embedder = TextEmbedder::new(config.d_embed, 19, 0);
+    let mut instance = TiptoeInstance::build(&config, embedder, &corpus);
+    println!(
+        "deployment: {} docs, {} clusters, {} server state\n",
+        corpus.docs.len(),
+        instance.artifacts.meta.c,
+        fmt_bytes(instance.server_storage_bytes()),
+    );
+
+    // New pages arrive after the batch build.
+    let fresh = [
+        ("https://news.example/breaking/quantum-garden",
+         "zzqx quantum gardening techniques for lunar greenhouses breakthrough"),
+        ("https://blog.example/rust-search",
+         "qvvw building private search engines in rust with homomorphic encryption"),
+        ("https://docs.example/tidal-synth",
+         "xyyk tidal synthesizer patch design and modular routing guide"),
+    ];
+    let mut added = Vec::new();
+    for (url, text) in fresh {
+        match instance.add_document(text, url) {
+            Ok(report) => {
+                println!(
+                    "indexed doc #{} into cluster {} (row {}); clients re-download {} of metadata",
+                    report.doc, report.cluster, report.row, fmt_bytes(report.metadata_bytes),
+                );
+                added.push((report.doc, url, text));
+            }
+            Err(e @ UpdateError::ClusterFull) | Err(e @ UpdateError::BatchFull) => {
+                println!("update deferred ({e}); a production deployment would queue a re-shard");
+            }
+        }
+    }
+
+    // Fresh clients (new metadata + tokens, per §6.3: old tokens are
+    // stale once the corpus changes) find the new pages privately.
+    println!();
+    let mut client = instance.new_client(5);
+    for (doc, url, text) in &added {
+        let results = client.search(&instance, text, 10);
+        let found = results.hits.iter().any(|h| h.doc == *doc && h.url == *url);
+        println!("search for the new page -> {}", if found { format!("found {url}") } else { "not in top-10".into() });
+    }
+    println!("\nEach update cost one rank-one hint correction plus a single NTT-chunk");
+    println!("refresh — no full preprocessing re-run.");
+}

@@ -1,0 +1,68 @@
+//! Private search over an *encrypted* corpus (paper §9): the client
+//! owns the documents, the server stores only ciphertext, and queries
+//! reveal nothing — not even to a server that also can't read the
+//! corpus.
+//!
+//! ```text
+//! cargo run --release --example encrypted_search
+//! ```
+
+use rand::Rng;
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::encrypted::{build_encrypted_index, search_encrypted, PrivateDoc};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_embed::Embedder;
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_math::stats::fmt_bytes;
+use tiptoe_underhood::ClientKey;
+
+fn main() {
+    let mut config = TiptoeConfig::test_small(120, 29);
+    let mut rng = seeded_rng(29);
+
+    // The client's private document collection (think: personal notes,
+    // mail, internal wikis). Embedded locally with a local model.
+    let embedder = TextEmbedder::new(96, 29, 0);
+    config.d_embed = 96;
+    config.d_reduced = 96; // client-side pipeline; skip PCA for clarity
+    let topics = [
+        ("notes/quarterly-budget.md", "budget forecast spending quarterly finance planning"),
+        ("notes/garden-layout.md", "garden tomato layout soil compost spring planting"),
+        ("notes/rust-profiling.md", "rust profiling performance flamegraph optimization"),
+        ("mail/travel-itinerary.eml", "flight hotel itinerary tokyo travel booking"),
+        ("mail/doctor-appointment.eml", "doctor appointment knee pain clinic schedule"),
+        ("wiki/deploy-runbook.md", "deploy runbook rollback incident production checklist"),
+    ];
+    let docs: Vec<PrivateDoc> = (0..120)
+        .map(|i| {
+            let (path, words) = topics[i % topics.len()];
+            let mut text = String::from(words);
+            // Per-document variation.
+            text.push_str(&format!(" note{} extra{}", i, rng.gen_range(0..50)));
+            PrivateDoc {
+                id: i as u32,
+                url: format!("file:///home/me/{}-{}", i, path),
+                embedding: embedder.embed_text(&text),
+            }
+        })
+        .collect();
+
+    println!("== Tiptoe private search over an encrypted corpus ==\n");
+    let (index_key, server) = build_encrypted_index(&config, &docs, 0x5e_c2e7_1234);
+    println!(
+        "server stores {} of ciphertext ({} records); plaintext never leaves the client\n",
+        fmt_bytes(server.storage_bytes()),
+        docs.len(),
+    );
+
+    let client_key = ClientKey::generate(server.underhood(), server.underhood().lwe().n, &mut rng);
+    for query in ["knee pain appointment", "tomato compost planting", "rollback incident"] {
+        let q_emb = embedder.embed_text(query);
+        let hits = search_encrypted(&index_key, &server, &client_key, &q_emb, 3, &mut rng);
+        println!("Q: {query}");
+        for (id, url, score) in &hits {
+            println!("  #{id:<4} {url} (score {score:.3})");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a Tiptoe deployment over a small synthetic web
+//! corpus and run a few private searches.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_math::stats::{fmt_bytes, fmt_seconds};
+use tiptoe_net::LinkModel;
+
+fn main() {
+    // 1. A 2 000-document synthetic web corpus (stands in for C4).
+    let corpus = generate(&CorpusConfig::small(2000, 7), 5);
+    println!("corpus: {} documents, {} of text", corpus.docs.len(), fmt_bytes(corpus.text_bytes()));
+
+    // 2. Batch jobs + services. `test_small` keeps the lattice
+    //    dimensions tiny so the demo runs in seconds; swap in
+    //    `TiptoeConfig::text` for the paper's full parameters.
+    let config = TiptoeConfig::test_small(corpus.docs.len(), 7);
+    let embedder = TextEmbedder::new(config.d_embed, 7, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    println!(
+        "deployment: {} clusters x {} docs, {} ranking shards, {} server state",
+        instance.artifacts.meta.c,
+        instance.artifacts.meta.rows,
+        instance.ranking.num_shards(),
+        fmt_bytes(instance.server_storage_bytes()),
+    );
+
+    // 3. A client: downloads metadata once, prefetches a query token.
+    let mut client = instance.new_client(1);
+    println!("client setup download: {}", fmt_bytes(client.setup_bytes));
+    let token_cost = client.fetch_token(&instance);
+    println!(
+        "token prefetch (before the query is typed): up {}, down {}",
+        fmt_bytes(token_cost.token_up),
+        fmt_bytes(token_cost.token_down),
+    );
+
+    // 4. Private searches. The services only ever see ciphertexts.
+    let link = LinkModel::paper();
+    for query in ["museum history archive", "health doctor advice", &corpus.queries[0].text] {
+        let results = client.search(&instance, query, 5);
+        println!("\nQ: {query}");
+        for (i, hit) in results.hits.iter().enumerate() {
+            println!("  {}. {} (score {:.3})", i + 1, hit.url, hit.score);
+        }
+        let c = &results.cost;
+        println!(
+            "  cost: {} online ({} offline), {:.0} core-ms server, ~{} perceived",
+            fmt_bytes(c.online_bytes()),
+            fmt_bytes(c.offline_bytes()),
+            c.server_core_seconds() * 1e3,
+            fmt_seconds(c.perceived_latency(&link).as_secs_f64()),
+        );
+    }
+}

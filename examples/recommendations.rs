@@ -1,0 +1,64 @@
+//! Private recommendations (paper §9): retrieve the catalog items
+//! nearest a client's profile vector without revealing the profile —
+//! or the recommendations — to the service.
+//!
+//! ```text
+//! cargo run --release --example recommendations
+//! ```
+
+use rand::Rng;
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::recommend::{Item, RecommendationEngine};
+use tiptoe_embed::vector::{add_assign, normalize, scale};
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_underhood::ClientKey;
+
+fn main() {
+    let config = TiptoeConfig::test_small(240, 23);
+    let d = config.d_reduced;
+    let mut rng = seeded_rng(23);
+
+    // A catalog with 8 latent "genres": items cluster around genre
+    // anchors, like embeddings of films or products would.
+    let genres = ["sci-fi", "cooking", "jazz", "hiking", "history", "gaming", "poetry", "diy"];
+    let anchors: Vec<Vec<f32>> = (0..genres.len())
+        .map(|_| {
+            let mut a: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            normalize(&mut a);
+            a
+        })
+        .collect();
+    let items: Vec<Item> = (0..240)
+        .map(|i| {
+            let g = i % genres.len();
+            let mut e = anchors[g].clone();
+            for x in e.iter_mut() {
+                *x += rng.gen_range(-0.25f32..0.25);
+            }
+            normalize(&mut e);
+            Item { id: i as u32, name: format!("{}-title-{}", genres[g], i / genres.len()), embedding: e }
+        })
+        .collect();
+
+    println!("== Tiptoe private recommendations: {} items ==\n", items.len());
+    let engine = RecommendationEngine::build(&config, items.clone());
+    let key = ClientKey::generate(engine.service().underhood(), config.rank_lwe.n, &mut rng);
+
+    // The client's profile: the mean of its three recently-viewed
+    // items (two jazz, one poetry) — never sent in plaintext.
+    let viewed = [2usize, 10, 6];
+    let mut profile = vec![0.0f32; d];
+    for &v in &viewed {
+        add_assign(&mut profile, &items[v].embedding);
+    }
+    scale(&mut profile, 1.0 / viewed.len() as f32);
+    println!("recently viewed: {:?}\n", viewed.iter().map(|&v| &items[v].name).collect::<Vec<_>>());
+
+    let recs = engine.recommend(&key, &profile, 6, &mut rng);
+    println!("private recommendations:");
+    for (id, name, score) in &recs {
+        println!("  #{id:<4} {name:<22} (score {score:.3})");
+    }
+    println!("\nThe service saw only LWE/RLWE ciphertexts: neither the profile");
+    println!("vector nor the recommended items are visible to it.");
+}

@@ -1,0 +1,73 @@
+//! Private web search over a larger synthetic crawl, with the
+//! Figure 5-style sample-query output and a per-phase cost breakdown.
+//!
+//! ```text
+//! cargo run --release --example web_search [num_docs]
+//! ```
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_math::stats::{fmt_bytes, fmt_seconds};
+use tiptoe_net::LinkModel;
+
+fn main() {
+    let num_docs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
+    println!("== Tiptoe private web search: {num_docs} documents ==\n");
+
+    let corpus = generate(&CorpusConfig::small(num_docs, 11), 20);
+    let config = TiptoeConfig::test_small(num_docs, 11);
+    let embedder = TextEmbedder::new(config.d_embed, 11, 0);
+
+    let t0 = std::time::Instant::now();
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    println!(
+        "index built in {} ({:.4} core-s/doc; paper: 0.013)",
+        fmt_seconds(t0.elapsed().as_secs_f64()),
+        instance.artifacts.report.core_seconds_per_doc(num_docs),
+    );
+    println!(
+        "  {} clusters, padded cluster size {}, {} URL batches",
+        instance.artifacts.meta.c, instance.artifacts.meta.rows, instance.artifacts.meta.num_batches,
+    );
+
+    let mut client = instance.new_client(3);
+    let link = LinkModel::paper();
+
+    // Figure 5-style: print top answers for sampled benchmark queries.
+    println!("\n-- sample queries (answers are synthetic URLs) --");
+    let mut shown = 0;
+    for q in corpus.queries.iter().take(5) {
+        let results = client.search(&instance, &q.text, 3);
+        println!("\nQ: {}", q.text);
+        for (i, hit) in results.hits.iter().enumerate() {
+            let marker = if hit.doc == q.relevant { "  <- ground-truth answer" } else { "" };
+            println!("  {}. {}{}", i + 1, hit.url, marker);
+        }
+        shown += 1;
+        if shown == 5 {
+            // Detailed cost breakdown for the last query.
+            let c = &results.cost;
+            println!("\n-- per-query cost breakdown (cf. Table 7) --");
+            println!("  up,   token : {}", fmt_bytes(c.token_up));
+            println!("  up,   rank  : {}", fmt_bytes(c.rank_up));
+            println!("  up,   URL   : {}", fmt_bytes(c.url_up));
+            println!("  down, token : {}", fmt_bytes(c.token_down));
+            println!("  down, rank  : {}", fmt_bytes(c.rank_down));
+            println!("  down, URL   : {}", fmt_bytes(c.url_down));
+            println!(
+                "  offline share of traffic: {:.0}% (paper: 74%)",
+                100.0 * c.offline_bytes() as f64 / c.total_bytes() as f64
+            );
+            println!(
+                "  server compute: {:.1} core-ms; perceived latency ~{}",
+                c.server_core_seconds() * 1e3,
+                fmt_seconds(c.perceived_latency(&link).as_secs_f64()),
+            );
+        }
+    }
+}

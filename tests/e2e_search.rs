@@ -1,0 +1,167 @@
+//! End-to-end integration tests: the full private pipeline against a
+//! plaintext reference implementation, plus corpus-update behavior.
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, Corpus, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_embed::vector::normalize;
+use tiptoe_embed::Embedder;
+
+fn build(num_docs: usize, seed: u64) -> (Corpus, TiptoeInstance<TextEmbedder>) {
+    let corpus = generate(&CorpusConfig::small(num_docs, seed), 20);
+    let config = TiptoeConfig::test_small(num_docs, seed);
+    let embedder = TextEmbedder::new(config.d_embed, seed, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    (corpus, instance)
+}
+
+/// Plaintext reference of the *entire* client pipeline: embed, PCA,
+/// cluster select, quantized scores over the chosen cluster, batch
+/// fetch, top-k of that batch.
+fn reference_search(
+    instance: &TiptoeInstance<TextEmbedder>,
+    query: &str,
+    k: usize,
+) -> (usize, Vec<(u32, i64)>) {
+    let config = &instance.config;
+    let quant = config.quantizer();
+    let raw = instance.embedder.embed_text(query);
+    let mut q = instance.artifacts.pca.project(&raw);
+    normalize(&mut q);
+    let cluster = instance.artifacts.clustering.nearest_centroid(&q);
+    let q_zp = quant.to_zp(&q);
+
+    let members = &instance.artifacts.clustering.members[cluster];
+    let scores: Vec<i64> = members
+        .iter()
+        .map(|&doc| {
+            let d_zp = quant.to_zp(&instance.artifacts.reduced_embeddings[doc as usize]);
+            quant.quantized_dot(&d_zp, &q_zp)
+        })
+        .collect();
+    let best_row = scores
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let upb = instance.artifacts.meta.urls_per_batch as usize;
+    let first = (best_row / upb) * upb;
+    let last = (first + upb).min(members.len());
+    let mut batch_hits: Vec<(u32, i64)> =
+        (first..last).map(|row| (members[row], scores[row])).collect();
+    batch_hits.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    batch_hits.truncate(k);
+    (cluster, batch_hits)
+}
+
+#[test]
+fn private_pipeline_matches_plaintext_reference() {
+    let (corpus, instance) = build(250, 51);
+    let mut client = instance.new_client(1);
+    for q in corpus.queries.iter().take(8) {
+        let private = client.search(&instance, &q.text, 10);
+        let (ref_cluster, ref_hits) = reference_search(&instance, &q.text, 10);
+        assert_eq!(private.cluster, ref_cluster, "cluster selection must agree");
+        assert_eq!(private.hits.len(), ref_hits.len(), "result count");
+        let got_scores: Vec<i64> = private
+            .hits
+            .iter()
+            .map(|h| (h.score * 64.0).round() as i64)
+            .collect();
+        let want_scores: Vec<i64> = ref_hits.iter().map(|(_, s)| *s).collect();
+        assert_eq!(got_scores, want_scores, "score sequences must match exactly");
+    }
+}
+
+#[test]
+fn rankings_hold_across_multiple_clients() {
+    let (corpus, instance) = build(150, 52);
+    let mut alice = instance.new_client(10);
+    let mut bob = instance.new_client(20);
+    // Different keys, identical results for the same query.
+    let q = &corpus.queries[0].text;
+    let a = alice.search(&instance, q, 5);
+    let b = bob.search(&instance, q, 5);
+    assert_eq!(a.cluster, b.cluster);
+    let a_docs: Vec<u32> = a.hits.iter().map(|h| h.doc).collect();
+    let b_docs: Vec<u32> = b.hits.iter().map(|h| h.doc).collect();
+    assert_eq!(a_docs, b_docs);
+}
+
+#[test]
+fn corpus_update_republishes_compact_metadata() {
+    let (_, instance) = build(120, 53);
+    // §3.2: even if all centroids change, re-downloading the metadata
+    // is cheap relative to the index itself.
+    let update = instance.metadata_update_bytes();
+    assert!(update > 0);
+    assert!(
+        update < instance.server_storage_bytes() / 20,
+        "metadata update ({update} B) should be far smaller than the index"
+    );
+
+    // Rebuild with one more document: a fresh deployment answers
+    // queries that include the new document.
+    let mut corpus = generate(&CorpusConfig::small(120, 53), 5);
+    let new_id = corpus.docs.len() as u32;
+    let new_text = "zzqx unique freshly added document about quantum gardening";
+    corpus.docs.push(tiptoe_corpus::synth::Document {
+        id: new_id,
+        url: "https://www.example.com/fresh/quantum-gardening".into(),
+        text: new_text.into(),
+        topic: 0,
+    });
+    let config = TiptoeConfig::test_small(corpus.docs.len(), 53);
+    let embedder = TextEmbedder::new(config.d_embed, 53, 0);
+    let updated = TiptoeInstance::build(&config, embedder, &corpus);
+    let mut client = updated.new_client(2);
+    let results = client.search(&updated, new_text, 10);
+    assert!(
+        results.hits.iter().any(|h| h.doc == new_id),
+        "updated corpus must serve the new document"
+    );
+}
+
+#[test]
+fn image_modality_roundtrips_through_the_same_pipeline() {
+    use tiptoe_embed::clip::ClipLikeEmbedder;
+    let clip = ClipLikeEmbedder::new(96, 61, 0.25);
+    let captions: Vec<String> =
+        (0..80).map(|i| format!("scene number {i} with object {}", i % 7)).collect();
+    let mut docs = Vec::new();
+    let mut latents = Vec::new();
+    for (i, c) in captions.iter().enumerate() {
+        let img = clip.embed_image(i as u64, c);
+        docs.push(tiptoe_corpus::synth::Document {
+            id: i as u32,
+            url: format!("https://img.example.org/{i}.jpg"),
+            text: c.clone(),
+            topic: 0,
+        });
+        latents.push(img.latent);
+    }
+    let corpus = Corpus { docs, queries: Vec::new() };
+    let mut config = TiptoeConfig::test_small(80, 61);
+    config.d_embed = 96;
+    config.d_reduced = 48;
+    let instance = TiptoeInstance::build_with_embeddings(&config, &clip, &corpus, latents);
+    let mut client = instance.new_client(3);
+    let results = client.search(&instance, &captions[12], 5);
+    assert!(!results.hits.is_empty());
+    // The captioned image should rank at or near the top when its
+    // cluster is selected.
+    if instance.artifacts.clustering.members[results.cluster].contains(&12) {
+        assert!(results.hits.iter().take(3).any(|h| h.doc == 12), "hits {:?}", results.hits);
+    }
+}
+
+#[test]
+fn deployment_reports_storage_and_preprocessing() {
+    let (_, instance) = build(100, 54);
+    assert!(instance.server_storage_bytes() > 0);
+    let report = &instance.artifacts.report;
+    assert!(report.crypto.as_nanos() > 0, "crypto preprocessing must be measured");
+    assert!(report.core_seconds_per_doc(100) > 0.0);
+}

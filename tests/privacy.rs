@@ -1,0 +1,130 @@
+//! Query-privacy integration tests (paper §2, Definition 2.1, and
+//! Appendix D).
+//!
+//! Full computational indistinguishability is a cryptographic
+//! property; what a test suite *can* check mechanically is every
+//! observable the definition covers: the message flow, every message's
+//! exact size, and the server-visible access behavior must be
+//! independent of the client's query string — and ciphertexts must not
+//! repeat or leak plaintext structure.
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_lwe::{scheme::encrypt, LweParams, LweSecretKey, MatrixA};
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_net::Direction;
+
+fn build(seed: u64) -> TiptoeInstance<TextEmbedder> {
+    let corpus = generate(&CorpusConfig::small(180, seed), 0);
+    let config = TiptoeConfig::test_small(180, seed);
+    let embedder = TextEmbedder::new(config.d_embed, seed, 0);
+    TiptoeInstance::build(&config, embedder, &corpus)
+}
+
+#[test]
+fn wire_transcript_is_independent_of_the_query() {
+    let instance = build(71);
+    let mut client = instance.new_client(1);
+
+    // Queries chosen to hit different clusters, different scores,
+    // different result sets.
+    let queries = [
+        "health doctor knee pain clinic",
+        "w1 w2 w3",
+        "museum",
+        "completely unrelated gibberish zzzz qqqq xxxx",
+    ];
+    let mut footprints = Vec::new();
+    for q in queries {
+        instance.transcript.reset();
+        let results = client.search(&instance, q, 5);
+        let phases: Vec<(String, u64, u64)> = instance
+            .transcript
+            .phases()
+            .into_iter()
+            .map(|p| {
+                (
+                    p.clone(),
+                    instance.transcript.phase_total(&p, Direction::Upload),
+                    instance.transcript.phase_total(&p, Direction::Download),
+                )
+            })
+            .collect();
+        footprints.push((phases, results.cost.total_bytes()));
+    }
+    for w in footprints.windows(2) {
+        assert_eq!(w[0], w[1], "transcript shape must not depend on the query");
+    }
+}
+
+#[test]
+fn queries_for_different_clusters_are_same_size() {
+    // The cluster index i* is part of the client's secret; the upload
+    // is always a dC-dimensional ciphertext regardless of i*.
+    let instance = build(72);
+    let mut client = instance.new_client(2);
+    let mut sizes = std::collections::HashSet::new();
+    let mut clusters = std::collections::HashSet::new();
+    for q in ["health", "travel", "finance", "w77 w78", "galaxy planet"] {
+        let r = client.search(&instance, q, 3);
+        clusters.insert(r.cluster);
+        sizes.insert((r.cost.rank_up, r.cost.rank_down, r.cost.url_up, r.cost.url_down));
+    }
+    assert!(clusters.len() > 1, "test needs queries spanning clusters");
+    assert_eq!(sizes.len(), 1, "sizes leaked the cluster: {sizes:?}");
+}
+
+#[test]
+fn repeated_encryptions_of_the_same_query_differ() {
+    // Fresh randomness per encryption: identical plaintexts must not
+    // produce identical ciphertexts (semantic security's minimum bar).
+    let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+    let mut rng = seeded_rng(73);
+    let a = MatrixA::new(9, 32, params.n);
+    let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+    let v = vec![5u64; 32];
+    let c1 = encrypt(&params, &sk, &a, &v, &mut rng);
+    let c2 = encrypt(&params, &sk, &a, &v, &mut rng);
+    assert_ne!(c1.c, c2.c, "ciphertexts must be randomized");
+}
+
+#[test]
+fn ciphertext_words_look_uniform() {
+    // χ²-style sanity check on the top byte of LWE ciphertext words:
+    // the A·s term should spread mass over the full ring.
+    let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+    let mut rng = seeded_rng(74);
+    let m = 4096;
+    let a = MatrixA::new(11, m, params.n);
+    let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+    let v = vec![0u64; m];
+    let ct = encrypt(&params, &sk, &a, &v, &mut rng);
+    let mut counts = [0u32; 16];
+    for &w in &ct.c {
+        counts[(w >> 60) as usize] += 1;
+    }
+    let expected = m as f64 / 16.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected;
+        assert!(dev < 0.35, "top-nibble {i} count {c} deviates {dev:.2} from uniform");
+    }
+}
+
+#[test]
+fn server_work_touches_every_cluster_for_any_query() {
+    // The ranking answer is a product with the *entire* matrix: its
+    // cost (and the response size) is the same no matter which cluster
+    // the query targets — a structural non-leakage property.
+    let instance = build(75);
+    let mut client = instance.new_client(3);
+    let r1 = client.search(&instance, "health", 3);
+    let r2 = client.search(&instance, "galaxy", 3);
+    assert_eq!(r1.cost.rank_down, r2.cost.rank_down);
+    assert_eq!(
+        instance.ranking.rows() as u64 * 8,
+        r1.cost.rank_down,
+        "every query downloads one full padded cluster of scores"
+    );
+}
