@@ -1,0 +1,157 @@
+//! Machine-readable kernel benchmark for the perf trajectory: times
+//! the scalar / cache-blocked / parallel / batched variants of the LHE
+//! hot-path kernels (`matvec` online, `preproc` offline) at a
+//! paper-scale online shape (ℓ = 2^15 rows) and writes
+//! `BENCH_kernels.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p tiptoe-bench --bin bench_kernels
+//! ```
+//!
+//! Knobs: `TIPTOE_THREADS` pins the parallel variants' thread count
+//! (default: one per core); `TIPTOE_BENCH_KERNEL_REPS` overrides the
+//! per-variant repetition count.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::Rng;
+use tiptoe_lwe::{scheme, MatrixA};
+use tiptoe_math::matrix::{self, Mat};
+use tiptoe_math::par::max_threads;
+use tiptoe_math::rng::seeded_rng;
+
+const MATVEC_ROWS: usize = 1 << 15;
+const MATVEC_COLS: usize = 1 << 10;
+const BATCH: usize = 4;
+const PREPROC_ROWS: usize = 1 << 15;
+const PREPROC_COLS: usize = 64;
+const PREPROC_N: usize = 256;
+
+fn reps() -> usize {
+    std::env::var("TIPTOE_BENCH_KERNEL_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(5)
+}
+
+/// Median-of-`reps` seconds for one run of `f` (after one warmup).
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Entry {
+    kernel: &'static str,
+    variant: String,
+    shape: String,
+    seconds: f64,
+    /// Per-query speedup over the scalar variant of the same kernel.
+    speedup: f64,
+}
+
+fn main() {
+    let reps = reps();
+    let threads = max_threads();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- Online kernel: matvec over a 128 MiB database. ---
+    let mut rng = seeded_rng(21);
+    let db = Mat::from_fn(MATVEC_ROWS, MATVEC_COLS, |_, _| rng.gen_range(0..16u32));
+    let v: Vec<u64> = (0..MATVEC_COLS).map(|_| rng.gen()).collect();
+    let vs: Vec<Vec<u64>> = (0..BATCH)
+        .map(|s| {
+            let mut r = seeded_rng(100 + s as u64);
+            (0..MATVEC_COLS).map(|_| r.gen()).collect()
+        })
+        .collect();
+    let shape = format!("{MATVEC_ROWS}x{MATVEC_COLS}");
+    let scalar = time(reps, || matrix::matvec(&db, &v));
+    let blocked = time(reps, || matrix::matvec_blocked(&db, &v));
+    let parallel = time(reps, || matrix::matvec_par(&db, &v, 0));
+    // Batched answers BATCH queries per pass; report per-query time.
+    let batched = time(reps, || matrix::matvec_batch(&db, &vs, 0)) / BATCH as f64;
+    for (variant, seconds) in [
+        ("scalar", scalar),
+        ("blocked", blocked),
+        (&*format!("parallel_t{threads}"), parallel),
+        (&*format!("batched_b{BATCH}_per_query"), batched),
+    ]
+    .map(|(v, s)| (v.to_string(), s))
+    {
+        entries.push(Entry {
+            kernel: "matvec",
+            variant,
+            shape: shape.clone(),
+            seconds,
+            speedup: scalar / seconds,
+        });
+    }
+
+    // --- Offline kernel: preproc (hint = M·A with seeded A). ---
+    let db = Mat::from_fn(PREPROC_ROWS, PREPROC_COLS, |_, _| rng.gen_range(0..16u32));
+    let a = MatrixA::new(23, PREPROC_COLS, PREPROC_N);
+    let range = a.row_range(0, PREPROC_COLS);
+    let shape = format!("{PREPROC_ROWS}x{PREPROC_COLS}xn{PREPROC_N}");
+    let p_reps = reps.min(3);
+    let scalar = time(p_reps, || scheme::preproc::<u64>(&db, &range));
+    let parallel = time(p_reps, || scheme::preproc_par::<u64>(&db, &range, 0));
+    for (variant, seconds) in
+        [("scalar".to_string(), scalar), (format!("parallel_t{threads}"), parallel)]
+    {
+        entries.push(Entry {
+            kernel: "preproc",
+            variant,
+            shape: shape.clone(),
+            seconds,
+            speedup: scalar / seconds,
+        });
+    }
+
+    // --- Emit BENCH_kernels.json at the workspace root. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    let _ = writeln!(
+        json,
+        "  \"cores_detected\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"threads_used\": {threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"shape\": \"{}\", \
+             \"seconds\": {:.6}, \"speedup_vs_scalar\": {:.3}}}{comma}",
+            e.kernel, e.variant, e.shape, e.seconds, e.speedup
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(root, &json).expect("write BENCH_kernels.json");
+
+    println!("{json}");
+    println!("wrote {root}");
+    for e in &entries {
+        println!(
+            "{:<8} {:<24} {:<20} {:>10.3} ms   {:>6.2}x",
+            e.kernel,
+            e.variant,
+            e.shape,
+            e.seconds * 1e3,
+            e.speedup
+        );
+    }
+}

@@ -5,6 +5,29 @@ use tiptoe_embed::quantize::Quantizer;
 use tiptoe_lwe::LweParams;
 use tiptoe_rlwe::RlweParams;
 
+/// Server-side parallelism and batching knobs.
+///
+/// `num_threads == 0` means "one thread per available core" (the
+/// `TIPTOE_THREADS` environment variable caps the auto-detected
+/// count); any other value pins the thread count exactly. All
+/// parallel kernels are bit-identical to their scalar counterparts,
+/// so this knob trades wall-clock time only — never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Threads per parallel kernel (`0` = one per core).
+    pub num_threads: usize,
+    /// Ciphertexts answered per database pass by the batched server
+    /// kernels (`apply_many`); amortizes the DB scan across
+    /// concurrent queries.
+    pub batch_size: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self { num_threads: 0, batch_size: 4 }
+    }
+}
+
 /// All parameters of a Tiptoe deployment.
 #[derive(Debug, Clone)]
 pub struct TiptoeConfig {
@@ -35,6 +58,8 @@ pub struct TiptoeConfig {
     /// memory and scan bandwidth; requires a power-of-two plaintext
     /// modulus so the signed embedding stays congruent mod `p`).
     pub pack_ranking_db: bool,
+    /// Server-side thread-count and query-batching knobs.
+    pub parallelism: Parallelism,
     /// Master seed (all internal randomness derives from it).
     pub seed: u64,
 }
@@ -59,6 +84,7 @@ impl TiptoeConfig {
             num_shards: 4,
             pca_sample: 2048.min(num_docs),
             pack_ranking_db: false,
+            parallelism: Parallelism::default(),
             seed,
         }
     }
@@ -79,6 +105,7 @@ impl TiptoeConfig {
             num_shards: 8,
             pca_sample: 2048.min(num_docs),
             pack_ranking_db: false,
+            parallelism: Parallelism::default(),
             seed,
         }
     }
@@ -107,6 +134,7 @@ impl TiptoeConfig {
             num_shards: 2,
             pca_sample: 512.min(num_docs),
             pack_ranking_db: false,
+            parallelism: Parallelism::default(),
             seed,
         }
     }
@@ -134,6 +162,7 @@ impl TiptoeConfig {
             self.d_reduced
         );
         assert!(self.num_shards >= 1, "need at least one shard");
+        assert!(self.parallelism.batch_size >= 1, "need a positive query batch size");
         assert!(self.urls_per_batch >= 1, "need at least one URL per batch");
         if self.pack_ranking_db {
             assert!(

@@ -24,7 +24,7 @@ use tiptoe_underhood::{
 };
 
 use crate::batch::IndexArtifacts;
-use crate::config::TiptoeConfig;
+use crate::config::{Parallelism, TiptoeConfig};
 
 /// One shard's database: plain `Z_p` residues or packed signed
 /// nibbles (8× smaller; power-of-two `p` only).
@@ -45,6 +45,15 @@ impl ShardDb {
         match self {
             ShardDb::Plain(m) => scheme::apply(m, ct),
             ShardDb::Packed(m) => scheme::apply_packed(m, ct),
+        }
+    }
+
+    /// Answers a batch of ciphertexts in one pass over the shard
+    /// (bit-identical to per-ciphertext [`ShardDb::apply`]).
+    fn apply_many(&self, cts: &[LweCiphertext<u64>], num_threads: usize) -> Vec<Vec<u64>> {
+        match self {
+            ShardDb::Plain(m) => scheme::apply_many(m, cts, num_threads),
+            ShardDb::Packed(m) => scheme::apply_packed_many(m, cts, num_threads),
         }
     }
 
@@ -73,6 +82,7 @@ pub struct RankingService {
     a: MatrixA,
     rows: usize,
     cols: usize,
+    parallelism: Parallelism,
     /// Wall-clock spent in cryptographic preprocessing at build time.
     pub preproc_time: Duration,
 }
@@ -111,12 +121,16 @@ impl RankingService {
             let col_end = hi * d;
             let plain = matrix.column_slice(col_start, col_end);
             let range = a.row_range(col_start, col_end - col_start);
+            // Parallel hint computation is bit-identical to the
+            // scalar kernel, so the build is deterministic regardless
+            // of the thread count.
+            let threads = config.parallelism.num_threads;
             let (db, hint) = if config.pack_ranking_db {
                 let packed = NibbleMat::from_residues_mod_p(&plain, config.rank_lwe.p);
-                let hint = scheme::preproc_packed::<u64>(&packed, &range);
+                let hint = scheme::preproc_packed_par::<u64>(&packed, &range, threads);
                 (ShardDb::Packed(packed), hint)
             } else {
-                let hint = scheme::preproc::<u64>(&plain, &range);
+                let hint = scheme::preproc_par::<u64>(&plain, &range, threads);
                 (ShardDb::Plain(plain), hint)
             };
             let server_hint = uh.preprocess_hint(&hint);
@@ -125,7 +139,20 @@ impl RankingService {
         }
         let preproc_time = t0.elapsed();
 
-        Self { shards, uh, a, rows: matrix.rows(), cols: m, preproc_time }
+        Self {
+            shards,
+            uh,
+            a,
+            rows: matrix.rows(),
+            cols: m,
+            parallelism: config.parallelism,
+            preproc_time,
+        }
+    }
+
+    /// The parallelism knobs this service was built with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The composed-scheme parameters (shared with clients).
@@ -239,8 +266,12 @@ impl RankingService {
     /// Token generation over a pre-expanded secret; the expansion can
     /// be shared with the URL service (§A.3's shared-key upload).
     pub fn generate_token_expanded(&self, es: &ExpandedSecret) -> (QueryToken, ParallelTiming) {
+        // Inside each shard the (chunk, limb) NTT multiply-accumulate
+        // units fan out across threads; the token is bit-identical to
+        // the sequential evaluation.
+        let threads = self.parallelism.num_threads;
         let (parts, timing) = simulate_parallel(&self.shards, |shard| {
-            self.uh.generate_token_expanded(&shard.server_hint, es)
+            self.uh.generate_token_expanded_par(&shard.server_hint, es, threads)
         });
         let combined = combine_partial_tokens(&self.uh, &parts);
         (combined, timing)
@@ -268,6 +299,27 @@ impl RankingService {
         assert_eq!(chunk.len(), shard.db.cols(), "chunk width mismatch");
         let ct = LweCiphertext { c: chunk.to_vec() };
         shard.db.apply(&ct)
+    }
+
+    /// Batched form of [`RankingService::shard_answer`]: answers `B`
+    /// ciphertext chunks in one pass over the shard's matrix, so a
+    /// database row is read from DRAM once for the whole batch. Each
+    /// answer is bit-identical to the per-ciphertext path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or any chunk width differs from
+    /// the shard's column count.
+    pub fn shard_answer_many(&self, idx: usize, chunks: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let shard = &self.shards[idx];
+        let cts: Vec<LweCiphertext<u64>> = chunks
+            .iter()
+            .map(|chunk| {
+                assert_eq!(chunk.len(), shard.db.cols(), "chunk width mismatch");
+                LweCiphertext { c: chunk.clone() }
+            })
+            .collect();
+        shard.db.apply_many(&cts, self.parallelism.num_threads)
     }
 
     /// Answers an online ranking query: workers compute their partial

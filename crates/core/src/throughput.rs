@@ -30,15 +30,18 @@ use crate::ranking::RankingService;
 /// deployment).
 pub struct RankingCluster {
     service: Arc<RankingService>,
-    pool: WorkerPool<Vec<u64>, Vec<u64>>,
+    pool: WorkerPool<Vec<Vec<u64>>, Vec<Vec<u64>>>,
 }
 
 impl RankingCluster {
-    /// Spawns one worker thread per shard.
+    /// Spawns one worker thread per shard. Each worker answers whole
+    /// *batches* of ciphertext chunks per message via the batched
+    /// kernel ([`RankingService::shard_answer_many`]), so a shard row
+    /// is read from DRAM once per batch instead of once per query.
     pub fn spawn(service: Arc<RankingService>) -> Self {
         let for_pool = Arc::clone(&service);
-        let pool = WorkerPool::spawn(service.num_shards(), move |idx, chunk: Vec<u64>| {
-            for_pool.shard_answer(idx, &chunk)
+        let pool = WorkerPool::spawn(service.num_shards(), move |idx, chunks: Vec<Vec<u64>>| {
+            for_pool.shard_answer_many(idx, &chunks)
         });
         Self { service, pool }
     }
@@ -50,21 +53,41 @@ impl RankingCluster {
     ///
     /// Panics if the ciphertext dimension differs from `d·C`.
     pub fn answer(&self, ct: &LweCiphertext<u64>) -> Vec<u64> {
-        assert_eq!(ct.c.len(), self.service.upload_dim(), "ciphertext dimension mismatch");
-        let requests: Vec<Vec<u64>> = (0..self.service.num_shards())
+        self.answer_batch(std::slice::from_ref(ct)).pop().expect("one answer per ciphertext")
+    }
+
+    /// Batched coordinator: answers `B` concurrent queries in one
+    /// scatter/gather round. Each shard receives all `B` of its column
+    /// chunks in a single message and scans its matrix once for the
+    /// whole batch; every answer is bit-identical to the sequential
+    /// per-query path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ciphertext dimension differs from `d·C`.
+    pub fn answer_batch(&self, cts: &[LweCiphertext<u64>]) -> Vec<Vec<u64>> {
+        if cts.is_empty() {
+            return Vec::new();
+        }
+        for ct in cts {
+            assert_eq!(ct.c.len(), self.service.upload_dim(), "ciphertext dimension mismatch");
+        }
+        let requests: Vec<Vec<Vec<u64>>> = (0..self.service.num_shards())
             .map(|idx| {
                 let (start, end) = self.service.shard_columns(idx);
-                ct.c[start..end].to_vec()
+                cts.iter().map(|ct| ct.c[start..end].to_vec()).collect()
             })
             .collect();
         let parts = self.pool.scatter_gather(requests);
-        let mut total = vec![0u64; self.service.rows()];
-        for part in parts {
-            for (t, p) in total.iter_mut().zip(part.iter()) {
-                *t = t.wadd(*p);
+        let mut totals = vec![vec![0u64; self.service.rows()]; cts.len()];
+        for shard_answers in parts {
+            for (total, part) in totals.iter_mut().zip(shard_answers.iter()) {
+                for (t, p) in total.iter_mut().zip(part.iter()) {
+                    *t = t.wadd(*p);
+                }
             }
         }
-        total
+        totals
     }
 
     /// Shuts down the worker threads.
@@ -165,6 +188,36 @@ mod tests {
             let concurrent = cluster.answer(&ct);
             assert_eq!(sequential, concurrent, "cluster must be bit-identical");
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batched_cluster_answers_match_sequential_service() {
+        let corpus = generate(&CorpusConfig::small(150, 73), 0);
+        let config = TiptoeConfig::test_small(150, 73);
+        let embedder = TextEmbedder::new(config.d_embed, 73, 0);
+        let artifacts = run_batch_jobs(&config, &embedder, &corpus);
+        let service = Arc::new(RankingService::build(&config, &artifacts));
+        let cluster = RankingCluster::spawn(Arc::clone(&service));
+
+        let mut rng = seeded_rng(2);
+        let uh = service.underhood();
+        let key = ClientKey::generate(uh, config.rank_lwe.n, &mut rng);
+        let cts: Vec<_> = (0..3)
+            .map(|_| {
+                let v: Vec<u64> = (0..service.upload_dim())
+                    .map(|_| rng.gen_range(0..config.rank_lwe.p))
+                    .collect();
+                uh.encrypt_query::<u64, _>(&key, &service.public_matrix(), &v, &mut rng)
+            })
+            .collect();
+        let batched = cluster.answer_batch(&cts);
+        assert_eq!(batched.len(), cts.len());
+        for (ct, got) in cts.iter().zip(batched.iter()) {
+            let (sequential, _) = service.answer(ct);
+            assert_eq!(&sequential, got, "batched answers must be bit-identical");
+        }
+        assert!(cluster.answer_batch(&[]).is_empty());
         cluster.shutdown();
     }
 

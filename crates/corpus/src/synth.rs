@@ -271,7 +271,11 @@ mod tests {
 
     #[test]
     fn query_terms_mostly_appear_in_answer() {
-        let c = small();
+        // With paraphrase_frac = 0.35 and a 30% chance of one lexical
+        // noise token, the generator's mean per-query overlap sits
+        // near 0.77; assert with margin on a sample large enough that
+        // seed-to-seed variance cannot flip the verdict.
+        let c = generate(&CorpusConfig::small(200, 42), 500);
         let mut overlap_total = 0.0;
         for q in &c.queries {
             let doc = &c.docs[q.relevant as usize];
@@ -280,7 +284,8 @@ mod tests {
             overlap_total += hits as f64 / q_terms.len() as f64;
         }
         let mean_overlap = overlap_total / c.queries.len() as f64;
-        assert!(mean_overlap > 0.8, "queries too noisy: {mean_overlap}");
+        assert!(mean_overlap > 0.7, "queries too noisy: {mean_overlap}");
+        assert!(mean_overlap < 0.95, "queries carry no noise: {mean_overlap}");
     }
 
     #[test]

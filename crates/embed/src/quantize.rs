@@ -91,7 +91,13 @@ mod tests {
     fn quantized_dot_tracks_float_dot() {
         let quant = Quantizer::paper_text();
         let mut rng = seeded_rng(1);
-        for _ in 0..20 {
+        // 4-bit quantization of unit vectors at d = 192 gives a dot-
+        // product error with std ≈ 0.05, so individual trials can
+        // stray past 0.15; bound each trial at ~5σ and the mean (the
+        // quantity ranking quality actually depends on) much tighter.
+        let mut total_err = 0.0f32;
+        const TRIALS: usize = 50;
+        for _ in 0..TRIALS {
             let mut a: Vec<f32> = (0..192).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             let mut b: Vec<f32> = (0..192).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
             normalize(&mut a);
@@ -100,14 +106,12 @@ mod tests {
             let qa = quant.to_zp(&a);
             let qb = quant.to_zp(&b);
             let approx = quant.quantized_dot(&qa, &qb) as f32 / 64.0; // scale 2^3 twice
-            // 4-bit quantization of near-zero coordinates is coarse;
-            // what matters is that the ranking order survives, which a
-            // 0.15 absolute tolerance on unit vectors comfortably implies.
-            assert!(
-                (float_dot - approx).abs() < 0.15,
-                "float {float_dot} vs quantized {approx}"
-            );
+            let err = (float_dot - approx).abs();
+            assert!(err < 0.25, "float {float_dot} vs quantized {approx}");
+            total_err += err;
         }
+        let mean_err = total_err / TRIALS as f32;
+        assert!(mean_err < 0.08, "mean quantization error too large: {mean_err}");
     }
 
     #[test]

@@ -186,6 +186,76 @@ pub fn apply<W: Word>(db: &Mat<u32>, ct: &LweCiphertext<W>) -> Vec<W> {
     matvec(db, &ct.c)
 }
 
+/// Row-parallel, cache-blocked `Apply` (`num_threads == 0` = one per
+/// core); bit-identical to [`apply`].
+///
+/// # Panics
+///
+/// Panics if `ct.c.len() != db.cols()`.
+pub fn apply_par<W: Word>(db: &Mat<u32>, ct: &LweCiphertext<W>, num_threads: usize) -> Vec<W> {
+    tiptoe_math::matrix::matvec_par(db, &ct.c, num_threads)
+}
+
+/// Batched `Apply`: answers `B` ciphertexts in one pass over the
+/// database (the matrix-matrix amortization — `M` is read from DRAM
+/// once instead of `B` times). Each answer is bit-identical to
+/// `apply(db, &cts[b])`.
+///
+/// # Panics
+///
+/// Panics if any ciphertext's dimension differs from `db.cols()`.
+pub fn apply_many<W: Word>(
+    db: &Mat<u32>,
+    cts: &[LweCiphertext<W>],
+    num_threads: usize,
+) -> Vec<Vec<W>> {
+    let vs: Vec<Vec<W>> = cts.iter().map(|ct| ct.c.clone()).collect();
+    tiptoe_math::matrix::matvec_batch(db, &vs, num_threads)
+}
+
+/// Row-parallel hint preprocessing: splits the hint's ℓ rows into one
+/// contiguous block per thread; **each thread re-expands the seeded
+/// rows of `A` independently** (row expansion is seed-derived per row,
+/// so chunks never share state and `A` still never materializes). Each
+/// hint row accumulates over `k` in the same order as [`preproc`], so
+/// the result is bit-identical.
+///
+/// The extra work is one `A`-expansion per thread (`T·m·n` PRG words
+/// against `ℓ·m·n` MACs) — negligible for `ℓ ≫ T`.
+///
+/// # Panics
+///
+/// Panics if `db.cols() != a.rows()`.
+pub fn preproc_par<W: Word>(db: &Mat<u32>, a: &MatrixARange, num_threads: usize) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let ell = db.rows();
+    let n = a.cols();
+    let mut hint: Mat<W> = Mat::zeros(ell, n);
+    if n == 0 {
+        return hint;
+    }
+    tiptoe_math::par::par_spans_mut(hint.data_mut(), n, num_threads, |start, span| {
+        let row0 = start / n;
+        let rows = span.len() / n;
+        let mut a_row = vec![W::ZERO; n];
+        for k in 0..db.cols() {
+            a.expand_row(k, &mut a_row);
+            for local in 0..rows {
+                let m_ik = db.get(row0 + local, k);
+                if m_ik == 0 {
+                    continue;
+                }
+                let w_ik = W::from_u64(m_ik as u64);
+                let h_row = &mut span[local * n..(local + 1) * n];
+                for (h, &a_kj) in h_row.iter_mut().zip(a_row.iter()) {
+                    *h = h.wadd(w_ik.wmul(a_kj));
+                }
+            }
+        }
+    });
+    hint
+}
+
 /// Hint preprocessing over a packed signed-4-bit database (see
 /// [`tiptoe_math::nibble::NibbleMat`]): identical to [`preproc`] but
 /// with entries sign-extended into `Z_q`. Requires a power-of-two
@@ -216,6 +286,47 @@ pub fn preproc_packed<W: Word>(db: &NibbleMat, a: &MatrixARange) -> Mat<W> {
     hint
 }
 
+/// Row-parallel packed hint preprocessing; bit-identical to
+/// [`preproc_packed`] (same per-thread `A` re-expansion scheme as
+/// [`preproc_par`]).
+///
+/// # Panics
+///
+/// Panics if `db.cols() != a.rows()`.
+pub fn preproc_packed_par<W: Word>(
+    db: &NibbleMat,
+    a: &MatrixARange,
+    num_threads: usize,
+) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let ell = db.rows();
+    let n = a.cols();
+    let mut hint: Mat<W> = Mat::zeros(ell, n);
+    if n == 0 {
+        return hint;
+    }
+    tiptoe_math::par::par_spans_mut(hint.data_mut(), n, num_threads, |start, span| {
+        let row0 = start / n;
+        let rows = span.len() / n;
+        let mut a_row = vec![W::ZERO; n];
+        for k in 0..db.cols() {
+            a.expand_row(k, &mut a_row);
+            for local in 0..rows {
+                let m_ik = db.get(row0 + local, k);
+                if m_ik == 0 {
+                    continue;
+                }
+                let w_ik = W::from_i64(m_ik as i64);
+                let h_row = &mut span[local * n..(local + 1) * n];
+                for (h, &a_kj) in h_row.iter_mut().zip(a_row.iter()) {
+                    *h = h.wadd(w_ik.wmul(a_kj));
+                }
+            }
+        }
+    });
+    hint
+}
+
 /// The homomorphic product over a packed database.
 ///
 /// # Panics
@@ -223,6 +334,22 @@ pub fn preproc_packed<W: Word>(db: &NibbleMat, a: &MatrixARange) -> Mat<W> {
 /// Panics if `ct.c.len() != db.cols()`.
 pub fn apply_packed<W: Word>(db: &NibbleMat, ct: &LweCiphertext<W>) -> Vec<W> {
     db.matvec(&ct.c)
+}
+
+/// Batched homomorphic product over a packed database: one scan
+/// answers all ciphertexts; bit-identical per answer to
+/// [`apply_packed`].
+///
+/// # Panics
+///
+/// Panics if any ciphertext's dimension differs from `db.cols()`.
+pub fn apply_packed_many<W: Word>(
+    db: &NibbleMat,
+    cts: &[LweCiphertext<W>],
+    num_threads: usize,
+) -> Vec<Vec<W>> {
+    let vs: Vec<Vec<W>> = cts.iter().map(|ct| ct.c.clone()).collect();
+    db.matvec_batch(&vs, num_threads)
 }
 
 /// Computes `H·s`, the linear part of decryption. This is exactly the
@@ -478,6 +605,63 @@ mod tests {
         let packed_hint = preproc_packed::<u64>(&packed, &a.row_range(0, cols));
         let packed_out = decrypt(&params, &sk, &packed_hint, &apply_packed(&packed, &ct));
         assert_eq!(plain_out, packed_out);
+    }
+
+    #[test]
+    fn parallel_preproc_is_bit_identical() {
+        let params = LweParams::insecure_test(64, 1 << 10, 10.0);
+        let mut rng = seeded_rng(12);
+        let cols = 50;
+        let db = random_db(&mut rng, 23, cols, 16);
+        let a = MatrixA::new(77, cols, params.n);
+        let range = a.row_range(0, cols);
+        let want = preproc::<u64>(&db, &range);
+        for threads in [0usize, 1, 2, 3, 8] {
+            assert_eq!(preproc_par::<u64>(&db, &range, threads), want, "threads={threads}");
+        }
+        // u32 width too.
+        let want32 = preproc::<u32>(&db, &range);
+        assert_eq!(preproc_par::<u32>(&db, &range, 3), want32);
+    }
+
+    #[test]
+    fn parallel_packed_preproc_is_bit_identical() {
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        let mut rng = seeded_rng(13);
+        let cols = 41;
+        let signed: Vec<i8> = (0..17 * cols).map(|_| rng.gen_range(-8i8..=7)).collect();
+        let packed = NibbleMat::from_signed(17, cols, &signed);
+        let a = MatrixA::new(78, cols, params.n);
+        let range = a.row_range(0, cols);
+        let want = preproc_packed::<u64>(&packed, &range);
+        for threads in [1usize, 2, 5] {
+            assert_eq!(
+                preproc_packed_par::<u64>(&packed, &range, threads),
+                want,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_apply_matches_per_ciphertext_apply() {
+        let params = LweParams::insecure_test(64, 1 << 17, 81920.0);
+        let mut rng = seeded_rng(14);
+        let cols = 48;
+        let db = random_db(&mut rng, 9, cols, params.p);
+        let a = MatrixA::new(79, cols, params.n);
+        let sk = LweSecretKey::<u64>::generate(&params, &mut rng);
+        let cts: Vec<LweCiphertext<u64>> = (0..4)
+            .map(|_| {
+                let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..16)).collect();
+                encrypt(&params, &sk, &a, &v, &mut rng)
+            })
+            .collect();
+        let batched = apply_many(&db, &cts, 2);
+        for (b, ct) in cts.iter().enumerate() {
+            assert_eq!(batched[b], apply(&db, ct), "ciphertext {b}");
+            assert_eq!(apply_par(&db, ct, 3), apply(&db, ct));
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   primes `Q ≡ 1 (mod 2N)`.
 //! - [`poly`]: elements of the quotient ring `R_Q = Z_Q[x]/(x^N + 1)`.
 //! - [`matrix`]: dense row-major matrices with the mixed-width
-//!   matrix-vector kernels that dominate Tiptoe's server cost.
+//!   matrix-vector kernels that dominate Tiptoe's server cost, in
+//!   scalar, cache-blocked, row-parallel, and batched forms.
+//! - [`par`]: the scoped-thread span helpers behind the parallel
+//!   kernels (`0 = one thread per core`, `TIPTOE_THREADS` override).
 //! - [`nibble`]: packed signed-4-bit matrix storage (the paper stores
 //!   embeddings as 4-bit integers), 8× smaller than `u32` residues.
 //! - [`sample`]: lattice noise distributions (rounded discrete
@@ -36,6 +39,7 @@ pub mod matrix;
 pub mod modp;
 pub mod nibble;
 pub mod ntt;
+pub mod par;
 pub mod poly;
 pub mod rng;
 pub mod sample;

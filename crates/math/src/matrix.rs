@@ -167,6 +167,10 @@ pub fn matvec<W: Word>(db: &Mat<u32>, v: &[W]) -> Vec<W> {
 
 /// Inner product of one narrow row with a wide vector, four-way
 /// unrolled to keep the MAC pipeline busy.
+///
+/// Iterates both operands as `chunks_exact` slices so the compiler
+/// hoists every bounds check out of the loop (indexing `v[b]` against
+/// a separately-computed bound defeats that).
 #[inline]
 pub fn dot_row<W: Word>(row: &[u32], v: &[W]) -> W {
     debug_assert_eq!(row.len(), v.len());
@@ -174,18 +178,122 @@ pub fn dot_row<W: Word>(row: &[u32], v: &[W]) -> W {
     let mut acc1 = W::ZERO;
     let mut acc2 = W::ZERO;
     let mut acc3 = W::ZERO;
-    let chunks = row.len() / 4;
-    for k in 0..chunks {
-        let b = k * 4;
-        acc0 = acc0.wadd(W::from_u64(row[b] as u64).wmul(v[b]));
-        acc1 = acc1.wadd(W::from_u64(row[b + 1] as u64).wmul(v[b + 1]));
-        acc2 = acc2.wadd(W::from_u64(row[b + 2] as u64).wmul(v[b + 2]));
-        acc3 = acc3.wadd(W::from_u64(row[b + 3] as u64).wmul(v[b + 3]));
+    let mut row4 = row.chunks_exact(4);
+    let mut v4 = v.chunks_exact(4);
+    for (r, x) in (&mut row4).zip(&mut v4) {
+        acc0 = acc0.wadd(W::from_u64(r[0] as u64).wmul(x[0]));
+        acc1 = acc1.wadd(W::from_u64(r[1] as u64).wmul(x[1]));
+        acc2 = acc2.wadd(W::from_u64(r[2] as u64).wmul(x[2]));
+        acc3 = acc3.wadd(W::from_u64(r[3] as u64).wmul(x[3]));
     }
-    for b in chunks * 4..row.len() {
-        acc0 = acc0.wadd(W::from_u64(row[b] as u64).wmul(v[b]));
+    for (&r, &x) in row4.remainder().iter().zip(v4.remainder().iter()) {
+        acc0 = acc0.wadd(W::from_u64(r as u64).wmul(x));
     }
     acc0.wadd(acc1).wadd(acc2).wadd(acc3)
+}
+
+/// Column-tile width (in elements) of the cache-blocked kernels: 2048
+/// `u64` words = 16 KiB, so one tile of `v` stays resident in L1 while
+/// every row's matching segment streams past it.
+pub const TILE_COLS: usize = 2048;
+
+/// Cache-blocked `out = M · v`: processes `v` one L1-sized column tile
+/// at a time so each tile is loaded once per *tile* instead of once
+/// per *row*. Bit-identical to [`matvec`] (wrapping mod-`2^k` sums are
+/// associative, so regrouping the additions cannot change the result).
+///
+/// # Panics
+///
+/// Panics if `v.len() != db.cols()`.
+pub fn matvec_blocked<W: Word>(db: &Mat<u32>, v: &[W]) -> Vec<W> {
+    assert_eq!(v.len(), db.cols(), "dimension mismatch");
+    let mut out = vec![W::ZERO; db.rows()];
+    matvec_rows_into(db, 0, v, &mut out);
+    out
+}
+
+/// Blocked matvec of rows `[row_start, row_start + out.len())` into
+/// `out` — the span-level worker shared by the blocked and parallel
+/// entry points.
+///
+/// # Panics
+///
+/// Panics if the row range exceeds `db.rows()` or `v.len()` differs
+/// from `db.cols()`.
+pub fn matvec_rows_into<W: Word>(db: &Mat<u32>, row_start: usize, v: &[W], out: &mut [W]) {
+    assert!(row_start + out.len() <= db.rows(), "row range out of bounds");
+    assert_eq!(v.len(), db.cols(), "dimension mismatch");
+    out.fill(W::ZERO);
+    let cols = db.cols();
+    for tile_start in (0..cols).step_by(TILE_COLS) {
+        let tile_end = (tile_start + TILE_COLS).min(cols);
+        let vt = &v[tile_start..tile_end];
+        for (off, o) in out.iter_mut().enumerate() {
+            let seg = &db.row(row_start + off)[tile_start..tile_end];
+            *o = o.wadd(dot_row(seg, vt));
+        }
+    }
+}
+
+/// Row-parallel, cache-blocked `out = M · v`: each thread computes a
+/// contiguous span of output rows with [`matvec_rows_into`].
+/// `num_threads == 0` means one thread per core. Bit-identical to
+/// [`matvec`].
+///
+/// # Panics
+///
+/// Panics if `v.len() != db.cols()`.
+pub fn matvec_par<W: Word>(db: &Mat<u32>, v: &[W], num_threads: usize) -> Vec<W> {
+    assert_eq!(v.len(), db.cols(), "dimension mismatch");
+    let mut out = vec![W::ZERO; db.rows()];
+    crate::par::par_spans_mut(&mut out, 1, num_threads, |start, span| {
+        matvec_rows_into(db, start, v, span);
+    });
+    out
+}
+
+/// Batched `out[b] = M · vs[b]`: answers `B` query vectors in **one
+/// pass over the database**, amortizing the DRAM traffic for `M`
+/// (which dominates: the matrix is ℓ×m words, the vectors only m) —
+/// the matrix-matrix form of SimplePIR's `Apply`. Each output is
+/// bit-identical to `matvec(db, &vs[b])`.
+///
+/// # Panics
+///
+/// Panics if any vector's length differs from `db.cols()`.
+pub fn matvec_batch<W: Word>(db: &Mat<u32>, vs: &[Vec<W>], num_threads: usize) -> Vec<Vec<W>> {
+    for v in vs {
+        assert_eq!(v.len(), db.cols(), "dimension mismatch");
+    }
+    if vs.is_empty() {
+        return Vec::new();
+    }
+    let rows = db.rows();
+    let batch = vs.len();
+    // Row-major (row, batch) accumulator so one row's products for all
+    // vectors are computed while the row is hot in cache.
+    let mut flat = vec![W::ZERO; rows * batch];
+    crate::par::par_spans_mut(&mut flat, batch, num_threads, |start, span| {
+        let row0 = start / batch;
+        let cols = db.cols();
+        for tile_start in (0..cols).step_by(TILE_COLS) {
+            let tile_end = (tile_start + TILE_COLS).min(cols);
+            for (local, row_out) in span.chunks_exact_mut(batch).enumerate() {
+                let seg = &db.row(row0 + local)[tile_start..tile_end];
+                for (o, v) in row_out.iter_mut().zip(vs.iter()) {
+                    *o = o.wadd(dot_row(seg, &v[tile_start..tile_end]));
+                }
+            }
+        }
+    });
+    // Transpose the flat accumulator into per-vector outputs.
+    let mut outs = vec![Vec::with_capacity(rows); batch];
+    for row_out in flat.chunks_exact(batch) {
+        for (out, &x) in outs.iter_mut().zip(row_out.iter()) {
+            out.push(x);
+        }
+    }
+    outs
 }
 
 /// `out = M · A` over `Z_{2^k}`: the SimplePIR hint computation.
@@ -233,6 +341,58 @@ pub fn matvec_wide<W: Word>(h: &Mat<W>, s: &[W]) -> Vec<W> {
         }
         out.push(acc);
     }
+    out
+}
+
+/// Row-parallel [`matvec_wide`]; bit-identical (each output row's
+/// accumulation order is unchanged).
+///
+/// # Panics
+///
+/// Panics if `s.len() != h.cols()`.
+pub fn matvec_wide_par<W: Word>(h: &Mat<W>, s: &[W], num_threads: usize) -> Vec<W> {
+    assert_eq!(s.len(), h.cols(), "dimension mismatch");
+    let mut out = vec![W::ZERO; h.rows()];
+    crate::par::par_spans_mut(&mut out, 1, num_threads, |start, span| {
+        for (off, o) in span.iter_mut().enumerate() {
+            let mut acc = W::ZERO;
+            for (&a, &b) in h.row(start + off).iter().zip(s.iter()) {
+                acc = acc.wadd(a.wmul(b));
+            }
+            *o = acc;
+        }
+    });
+    out
+}
+
+/// Row-parallel [`matmul_hint`]: each thread computes a contiguous
+/// block of hint rows with the same i-k-j loop order, so every output
+/// entry's accumulation order — and therefore its value — is
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics if `db.cols() != a.rows()`.
+pub fn matmul_hint_par<W: Word>(db: &Mat<u32>, a: &Mat<W>, num_threads: usize) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "dimension mismatch");
+    let n = a.cols();
+    let mut out: Mat<W> = Mat::zeros(db.rows(), n);
+    crate::par::par_spans_mut(out.data_mut(), n, num_threads, |start, span| {
+        let row0 = start / n;
+        for (local, out_row) in span.chunks_exact_mut(n).enumerate() {
+            let db_row = db.row(row0 + local);
+            for (k, &m_ik) in db_row.iter().enumerate() {
+                if m_ik == 0 {
+                    continue;
+                }
+                let w_ik = W::from_u64(m_ik as u64);
+                let a_row = a.row(k);
+                for (o, &a_kj) in out_row.iter_mut().zip(a_row.iter()) {
+                    *o = o.wadd(w_ik.wmul(a_kj));
+                }
+            }
+        }
+    });
     out
 }
 
@@ -320,5 +480,55 @@ mod tests {
         let db = Mat::from_fn(2, 3, |_, _| 1u32);
         let v = vec![1u64; 4];
         let _ = matvec(&db, &v);
+    }
+
+    /// A shape that exercises tile boundaries: more columns than one
+    /// tile, a ragged final tile, and a row count that splits unevenly
+    /// over threads.
+    fn wide_case() -> (Mat<u32>, Vec<u64>) {
+        let cols = TILE_COLS + 37;
+        let db = Mat::from_fn(13, cols, |i, j| (i * 2654435761 + j * 40503) as u32);
+        let v: Vec<u64> =
+            (0..cols).map(|j| (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead).collect();
+        (db, v)
+    }
+
+    #[test]
+    fn blocked_matvec_is_bit_identical() {
+        let (db, v) = wide_case();
+        assert_eq!(matvec_blocked(&db, &v), matvec(&db, &v));
+    }
+
+    #[test]
+    fn parallel_matvec_is_bit_identical_for_any_thread_count() {
+        let (db, v) = wide_case();
+        let want = matvec(&db, &v);
+        for threads in [0usize, 1, 2, 3, 5, 16] {
+            assert_eq!(matvec_par(&db, &v, threads), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_matvec_matches_per_vector_results() {
+        let (db, v) = wide_case();
+        let vs: Vec<Vec<u64>> = (0..5)
+            .map(|b| v.iter().map(|&x| x.wrapping_mul(b as u64 + 1)).collect())
+            .collect();
+        let got = matvec_batch(&db, &vs, 2);
+        assert_eq!(got.len(), vs.len());
+        for (b, out) in got.iter().enumerate() {
+            assert_eq!(out, &matvec(&db, &vs[b]), "batch element {b}");
+        }
+        assert!(matvec_batch::<u64>(&db, &[], 2).is_empty());
+    }
+
+    #[test]
+    fn parallel_hint_and_wide_kernels_are_bit_identical() {
+        let db = Mat::from_fn(9, 31, |i, j| ((i * 31 + j) % 7) as u32);
+        let a: Mat<u64> = Mat::from_fn(31, 6, |i, j| ((i as u64) << 32) | ((j as u64 + 1) * 77));
+        assert_eq!(matmul_hint_par(&db, &a, 3), matmul_hint(&db, &a));
+        let h: Mat<u64> = Mat::from_fn(10, 8, |i, j| (i as u64 + 3).wrapping_mul(j as u64 ^ 55));
+        let s: Vec<u64> = (0..8).map(|j| u64::MAX - j).collect();
+        assert_eq!(matvec_wide_par(&h, &s, 4), matvec_wide(&h, &s));
     }
 }

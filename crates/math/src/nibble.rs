@@ -120,9 +120,24 @@ impl NibbleMat {
     /// Panics if `v.len() != cols`.
     pub fn matvec<W: Word>(&self, v: &[W]) -> Vec<W> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![W::ZERO; self.rows];
+        self.matvec_rows_into(0, v, &mut out);
+        out
+    }
+
+    /// Packed matvec of rows `[row_start, row_start + out.len())` into
+    /// `out` — the span-level worker behind [`Self::matvec`] and
+    /// [`Self::matvec_par`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range exceeds `rows` or `v.len() != cols`.
+    pub fn matvec_rows_into<W: Word>(&self, row_start: usize, v: &[W], out: &mut [W]) {
+        assert!(row_start + out.len() <= self.rows, "row range out of bounds");
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
         let stride = self.cols.div_ceil(2);
-        let mut out = Vec::with_capacity(self.rows);
-        for r in 0..self.rows {
+        for (off, o) in out.iter_mut().enumerate() {
+            let r = row_start + off;
             let row = &self.data[r * stride..(r + 1) * stride];
             let mut acc0 = W::ZERO;
             let mut acc1 = W::ZERO;
@@ -138,9 +153,59 @@ impl NibbleMat {
                 let lo = decode_nibble(byte & 0x0f) as i64;
                 acc0 = acc0.wadd(W::from_i64(lo).wmul(v[self.cols - 1]));
             }
-            out.push(acc0.wadd(acc1));
+            *o = acc0.wadd(acc1);
         }
+    }
+
+    /// Row-parallel packed matvec (`num_threads == 0` = one per core);
+    /// bit-identical to [`Self::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec_par<W: Word>(&self, v: &[W], num_threads: usize) -> Vec<W> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![W::ZERO; self.rows];
+        crate::par::par_spans_mut(&mut out, 1, num_threads, |start, span| {
+            self.matvec_rows_into(start, v, span);
+        });
         out
+    }
+
+    /// Batched packed matvec: one scan of the nibble store answers all
+    /// of `vs` (the packed counterpart of
+    /// [`crate::matrix::matvec_batch`]); each output is bit-identical
+    /// to `self.matvec(&vs[b])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `cols`.
+    pub fn matvec_batch<W: Word>(&self, vs: &[Vec<W>], num_threads: usize) -> Vec<Vec<W>> {
+        for v in vs {
+            assert_eq!(v.len(), self.cols, "dimension mismatch");
+        }
+        if vs.is_empty() {
+            return Vec::new();
+        }
+        let batch = vs.len();
+        let mut flat = vec![W::ZERO; self.rows * batch];
+        crate::par::par_spans_mut(&mut flat, batch, num_threads, |start, span| {
+            let row0 = start / batch;
+            for (local, row_out) in span.chunks_exact_mut(batch).enumerate() {
+                for (o, v) in row_out.iter_mut().zip(vs.iter()) {
+                    let mut one = [W::ZERO];
+                    self.matvec_rows_into(row0 + local, v, &mut one);
+                    *o = one[0];
+                }
+            }
+        });
+        let mut outs = vec![Vec::with_capacity(self.rows); batch];
+        for row_out in flat.chunks_exact(batch) {
+            for (out, &x) in outs.iter_mut().zip(row_out.iter()) {
+                out.push(x);
+            }
+        }
+        outs
     }
 
     /// Expands back to a residue matrix (signed embedding mod `2^32`).
@@ -238,5 +303,23 @@ mod tests {
     #[should_panic(expected = "nibble range")]
     fn out_of_range_entry_rejected() {
         let _ = NibbleMat::from_signed(1, 1, &[9]);
+    }
+
+    #[test]
+    fn parallel_and_batched_packed_matvec_are_bit_identical() {
+        let mut rng = seeded_rng(3);
+        let (rows, cols) = (11, 53);
+        let values: Vec<i8> = (0..rows * cols).map(|_| rng.gen_range(-8i8..=7)).collect();
+        let m = NibbleMat::from_signed(rows, cols, &values);
+        let v: Vec<u64> = (0..cols).map(|_| rng.gen()).collect();
+        let want = m.matvec(&v);
+        for threads in [0usize, 1, 2, 4] {
+            assert_eq!(m.matvec_par(&v, threads), want, "threads={threads}");
+        }
+        let vs: Vec<Vec<u64>> = (0..3).map(|_| (0..cols).map(|_| rng.gen()).collect()).collect();
+        let got = m.matvec_batch(&vs, 2);
+        for (b, out) in got.iter().enumerate() {
+            assert_eq!(out, &m.matvec(&vs[b]), "batch element {b}");
+        }
     }
 }

@@ -24,9 +24,8 @@ pub mod pool;
 
 pub use pool::WorkerPool;
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 /// Transfer direction, from the client's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,23 +50,24 @@ impl Transcript {
 
     /// Records a client→server message.
     pub fn record_up(&self, phase: &str, bytes: u64) {
-        self.entries.lock().push((phase.to_owned(), Direction::Upload, bytes));
+        self.entries.lock().expect("transcript lock").push((phase.to_owned(), Direction::Upload, bytes));
     }
 
     /// Records a server→client message.
     pub fn record_down(&self, phase: &str, bytes: u64) {
-        self.entries.lock().push((phase.to_owned(), Direction::Download, bytes));
+        self.entries.lock().expect("transcript lock").push((phase.to_owned(), Direction::Download, bytes));
     }
 
     /// Total bytes in one direction across all phases.
     pub fn total(&self, dir: Direction) -> u64 {
-        self.entries.lock().iter().filter(|(_, d, _)| *d == dir).map(|(_, _, b)| b).sum()
+        self.entries.lock().expect("transcript lock").iter().filter(|(_, d, _)| *d == dir).map(|(_, _, b)| b).sum()
     }
 
     /// Bytes for one phase and direction.
     pub fn phase_total(&self, phase: &str, dir: Direction) -> u64 {
         self.entries
             .lock()
+            .expect("transcript lock")
             .iter()
             .filter(|(p, d, _)| p == phase && *d == dir)
             .map(|(_, _, b)| b)
@@ -77,7 +77,7 @@ impl Transcript {
     /// All phase names, in first-appearance order.
     pub fn phases(&self) -> Vec<String> {
         let mut seen = Vec::new();
-        for (p, _, _) in self.entries.lock().iter() {
+        for (p, _, _) in self.entries.lock().expect("transcript lock").iter() {
             if !seen.contains(p) {
                 seen.push(p.clone());
             }
@@ -92,7 +92,7 @@ impl Transcript {
 
     /// Clears the ledger (e.g. between measured queries).
     pub fn reset(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().expect("transcript lock").clear();
     }
 }
 

@@ -9,7 +9,7 @@
 //! use it for the multi-client throughput driver, where concurrency is
 //! the point rather than a measurement hazard.
 
-use crossbeam::channel::{unbounded, Sender};
+use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 
 /// One in-flight request: the payload plus a reply channel.
@@ -39,7 +39,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for idx in 0..workers {
-            let (tx, rx) = unbounded::<Job<Req, Resp>>();
+            let (tx, rx) = channel::<Job<Req, Resp>>();
             let handler = handler.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("tiptoe-worker-{idx}"))
@@ -72,7 +72,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
     /// Panics if `requests.len() != workers()` or a worker died.
     pub fn scatter_gather(&self, requests: Vec<Req>) -> Vec<Resp> {
         assert_eq!(requests.len(), self.workers(), "one request per worker");
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         for (sender, request) in self.senders.iter().zip(requests) {
             sender
                 .send(Job { request, reply: reply_tx.clone() })
@@ -94,7 +94,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
     /// Panics if `worker` is out of range or the worker died.
     pub fn call(&self, worker: usize, request: Req) -> Resp {
         assert!(worker < self.workers(), "worker index out of range");
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.senders[worker]
             .send(Job { request, reply: reply_tx })
             .expect("worker thread alive");

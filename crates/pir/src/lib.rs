@@ -121,10 +121,18 @@ pub struct PirServer {
 impl PirServer {
     /// Builds the server state: computes `hint = DB·A` and its
     /// NTT-ready limb decomposition (both are one-time, per-corpus
-    /// batch work).
+    /// batch work) using one preprocessing thread per core.
     pub fn new(db: PirDatabase, a_seed: u64, uh: Underhood) -> Self {
+        Self::with_threads(db, a_seed, uh, 0)
+    }
+
+    /// [`PirServer::new`] with an explicit preprocessing thread count
+    /// (`0` = one per core). The hint is bit-identical regardless of
+    /// the thread count.
+    pub fn with_threads(db: PirDatabase, a_seed: u64, uh: Underhood, num_threads: usize) -> Self {
         let a = MatrixA::new(a_seed, db.num_records(), db.params().n);
-        let hint = scheme::preproc::<u32>(db.matrix(), &a.row_range(0, db.num_records()));
+        let hint =
+            scheme::preproc_par::<u32>(db.matrix(), &a.row_range(0, db.num_records()), num_threads);
         let server_hint = uh.preprocess_hint(&hint);
         Self { db, a, uh, hint, server_hint }
     }
@@ -166,6 +174,19 @@ impl PirServer {
     /// records.
     pub fn answer(&self, ct: &LweCiphertext<u32>) -> Vec<u32> {
         scheme::apply(self.db.matrix(), ct)
+    }
+
+    /// Answers a batch of online queries in one pass over the
+    /// database: a record is read from DRAM once for all `B`
+    /// ciphertexts. Each answer is bit-identical to
+    /// [`PirServer::answer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ciphertext dimension differs from the number of
+    /// records.
+    pub fn answer_many(&self, cts: &[LweCiphertext<u32>], num_threads: usize) -> Vec<Vec<u32>> {
+        scheme::apply_many(self.db.matrix(), cts, num_threads)
     }
 
     /// The raw hint (used by tests and by clients that opt into
@@ -262,6 +283,33 @@ mod tests {
         let answer = server.answer(&ct);
         let got = client.recover(server.database(), &mut decoded, &answer);
         assert_eq!(got, recs[target]);
+    }
+
+    #[test]
+    fn batched_answers_are_bit_identical() {
+        let uh = test_underhood();
+        let mut rng = seeded_rng(7);
+        let recs = records(24, 60, 8);
+        let db = PirDatabase::build_with_params(&recs, *uh.lwe());
+        let server = PirServer::with_threads(db, 44, uh.clone(), 3);
+        // The parallel-preprocessed hint matches the scalar one.
+        let db2 = PirDatabase::build_with_params(&recs, *uh.lwe());
+        let scalar = PirServer::new(db2, 44, uh.clone());
+        assert_eq!(server.raw_hint().data(), scalar.raw_hint().data());
+
+        let key = ClientKey::generate(&uh, uh.lwe().n, &mut rng);
+        let client = PirClient::new(&uh, &key);
+        let n_records = server.database().num_records();
+        let cts: Vec<_> = [3usize, 11, 19]
+            .iter()
+            .map(|&t| client.query(&server.public_matrix(), n_records, t, &mut rng))
+            .collect();
+        for threads in [1, 2, 4] {
+            let batched = server.answer_many(&cts, threads);
+            for (ct, got) in cts.iter().zip(batched.iter()) {
+                assert_eq!(got, &server.answer(ct), "threads={threads}");
+            }
+        }
     }
 
     #[test]

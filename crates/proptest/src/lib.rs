@@ -1,0 +1,319 @@
+//! A self-contained, offline drop-in for the subset of the `proptest`
+//! API this workspace uses.
+//!
+//! The build environment has no registry access, so the real
+//! `proptest` crate cannot be fetched. This shim keeps the same test
+//! syntax — the [`proptest!`] macro with `arg in strategy` bindings,
+//! `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig` — over a
+//! deterministic case generator: case `k` of test `t` is seeded from
+//! `hash(t, k)`, so failures are exactly reproducible by rerunning the
+//! test. Shrinking is not implemented; the failing case's seed and
+//! inputs are reported instead.
+
+#![forbid(unsafe_code)]
+
+use rand::{SeedableRng, StdRng};
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed property assertion (message plus source location).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Derives the deterministic RNG for one test case.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Value generators.
+pub mod strategy {
+    use rand::{Rng, StdRng};
+
+    /// A value generator: the (non-shrinking) core of proptest's
+    /// `Strategy` trait.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Any numeric range is a strategy over its element type.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut StdRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Marker for [`super::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: rand::StandardSample + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// A `&str` pattern is a strategy over `String`. Only the tiny
+    /// pattern language the workspace uses is supported:
+    /// `[lo-hi]{min,max}` (one character class with a repetition
+    /// count). Anything else panics with a clear message.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (lo, hi, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!(
+                    "unsupported string pattern {self:?}: the offline proptest shim \
+                     only supports \"[a-z]{{min,max}}\" style patterns"
+                )
+            });
+            let len = rng.gen_range(min..=max);
+            (0..len).map(|_| rng.gen_range(lo..=hi) as char).collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(u8, u8, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let class = class.as_bytes();
+        let (lo, hi) = match class {
+            [lo, b'-', hi] => (*lo, *hi),
+            _ => return None,
+        };
+        let reps = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = reps.split_once(',')?;
+        Some((lo, hi, min.parse().ok()?, max.parse().ok()?))
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::Strategy;
+        use rand::{Rng, StdRng};
+
+        /// Strategy for `Vec<T>` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        /// A vector whose length is drawn from `len` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, min: len.start, max_exclusive: len.end }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.min >= self.max_exclusive {
+                    self.min
+                } else {
+                    rng.gen_range(self.min..self.max_exclusive)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Strategy over any samplable type.
+pub fn any<T: rand::StandardSample + std::fmt::Debug>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub use strategy::collection;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::strategy::Strategy;
+    pub use super::{any, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `arg in strategy` binding draws from
+/// the strategy; the body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = || {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(&format!("  {} = {:?}\n", stringify!($arg), $arg));
+                        )+
+                        s
+                    };
+                    let outcome: Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {case}:\n{e}\ninputs:\n{}",
+                            stringify!($name),
+                            inputs()
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in -2i8..=2) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in crate::collection::vec(any::<u8>(), 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn string_patterns_generate_class(w in "[a-z]{1,8}") {
+            prop_assert!(!w.is_empty() && w.len() <= 8);
+            prop_assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::Rng;
+        let a: u64 = crate::case_rng("t", 3).gen();
+        let b: u64 = crate::case_rng("t", 3).gen();
+        assert_eq!(a, b);
+    }
+}

@@ -377,28 +377,60 @@ impl Underhood {
     /// Panics if the expansion covers fewer coordinates than the
     /// hint's secret dimension.
     pub fn generate_token_expanded(&self, sh: &ServerHint, es: &ExpandedSecret) -> QueryToken {
+        self.generate_token_expanded_par(sh, es, 1)
+    }
+
+    /// Parallel token generation (`num_threads == 0` = one thread per
+    /// core): the `(chunk, limb)` evaluations — each an independent
+    /// NTT-domain multiply-accumulate over the secret coordinates plus
+    /// one modulus switch — fan out across threads. Every unit's
+    /// arithmetic is untouched, so the token is bit-identical to the
+    /// sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expansion covers fewer coordinates than the
+    /// hint's secret dimension.
+    pub fn generate_token_expanded_par(
+        &self,
+        sh: &ServerHint,
+        es: &ExpandedSecret,
+        num_threads: usize,
+    ) -> QueryToken {
         assert!(es.len() >= sh.n, "encrypted secret too short for this hint");
         let n_ring = self.ctx.params().degree;
-        let table = self.ctx.table();
-        let mut out = Vec::with_capacity(sh.chunks());
-        for chunk in &sh.polys {
-            let mut per_limb = Vec::with_capacity(self.limbs as usize);
-            for limb_polys in chunk {
-                let mut acc_a = vec![0u64; n_ring];
-                let mut acc_b = vec![0u64; n_ring];
+        let limbs = self.limbs as usize;
+        let units = sh.chunks() * limbs;
+        let mut flat: Vec<Option<SwitchedCiphertext>> = (0..units).map(|_| None).collect();
+        tiptoe_math::par::par_spans_mut(&mut flat, 1, num_threads, |start, span| {
+            let table = self.ctx.table();
+            let mut acc_a = vec![0u64; n_ring];
+            let mut acc_b = vec![0u64; n_ring];
+            for (off, slot) in span.iter_mut().enumerate() {
+                let unit = start + off;
+                let limb_polys = &sh.polys[unit / limbs][unit % limbs];
+                acc_a.iter_mut().for_each(|x| *x = 0);
+                acc_b.iter_mut().for_each(|x| *x = 0);
                 for (h_poly, z) in limb_polys.iter().zip(es.z.iter()) {
                     table.mul_acc_shoup(h_poly, z.a.data(), &mut acc_a);
                     table.mul_acc_shoup(h_poly, z.b.data(), &mut acc_b);
                 }
                 let acc = RlweCiphertext {
-                    a: Poly::from_ntt_data(std::sync::Arc::clone(table), acc_a),
-                    b: Poly::from_ntt_data(std::sync::Arc::clone(table), acc_b),
+                    a: Poly::from_ntt_data(std::sync::Arc::clone(table), acc_a.clone()),
+                    b: Poly::from_ntt_data(std::sync::Arc::clone(table), acc_b.clone()),
                 };
-                per_limb.push(mod_switch(&self.ctx, &acc, self.switch_log_q2));
+                *slot = Some(mod_switch(&self.ctx, &acc, self.switch_log_q2));
             }
-            out.push(per_limb);
-        }
-        QueryToken { chunks: out, rows: sh.rows }
+        });
+        let mut units_iter = flat.into_iter();
+        let chunks = (0..sh.chunks())
+            .map(|_| {
+                (0..limbs)
+                    .map(|_| units_iter.next().flatten().expect("every unit computed"))
+                    .collect()
+            })
+            .collect();
+        QueryToken { chunks, rows: sh.rows }
     }
 
     /// Decodes a token into the `H·s` words needed for inner
@@ -683,6 +715,25 @@ mod tests {
     fn roundtrip_multiple_chunks() {
         // More hint rows than the ring degree forces multi-chunk tokens.
         roundtrip::<u64>(&test_underhood_64(), 150, 32, 3, false);
+    }
+
+    #[test]
+    fn parallel_token_generation_is_bit_identical() {
+        let uh = test_underhood_64();
+        let mut rng = seeded_rng(9);
+        // 150 rows over a degree-64 ring -> 3 chunks x 3 limbs of work.
+        let db = random_db(&mut rng, 150, 32, 8);
+        let a = MatrixA::new(21, 32, uh.lwe().n);
+        let key = ClientKey::generate(&uh, uh.lwe().n, &mut rng);
+        let es = EncryptedSecret::encrypt(&uh, &key, &mut rng);
+        let hint = preproc::<u64>(&db, &a.row_range(0, 32));
+        let sh = uh.preprocess_hint(&hint);
+        let expanded = es.expand(&uh);
+        let sequential = uh.generate_token_expanded(&sh, &expanded).encode();
+        for threads in [0, 2, 3, 7] {
+            let par = uh.generate_token_expanded_par(&sh, &expanded, threads).encode();
+            assert_eq!(par, sequential, "threads={threads}");
+        }
     }
 
     #[test]

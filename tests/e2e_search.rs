@@ -29,7 +29,22 @@ fn reference_search(
     let raw = instance.embedder.embed_text(query);
     let mut q = instance.artifacts.pca.project(&raw);
     normalize(&mut q);
-    let cluster = instance.artifacts.clustering.nearest_centroid(&q);
+    // Select from the *published* centroid cache (int8-compressed, as
+    // the client downloads it), not the exact training centroids: the
+    // quantization can flip near-ties, and the reference must model
+    // the knowledge the client actually has.
+    let cluster = {
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for (i, c) in instance.artifacts.meta.centroids.iter().enumerate() {
+            let s = tiptoe_embed::vector::dot(c, &q);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    };
     let q_zp = quant.to_zp(&q);
 
     let members = &instance.artifacts.clustering.members[cluster];

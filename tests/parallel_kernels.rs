@@ -1,0 +1,162 @@
+//! Property tests proving the parallel, cache-blocked, and batched
+//! server kernels are *bit-identical* to the scalar reference kernels
+//! for both word widths (`q = 2^32` and `q = 2^64`).
+//!
+//! Wrapping mod-`2^k` addition is associative and commutative, so any
+//! reordering of the accumulation (column tiles, row spans across
+//! threads, shared database passes over a query batch) must reproduce
+//! the scalar result exactly — not approximately. These properties are
+//! what lets the deployment knobs (`Parallelism`, `TIPTOE_THREADS`)
+//! change wall-clock time without ever changing results.
+
+use proptest::prelude::*;
+use rand::Rng;
+use tiptoe_lwe::{scheme, LweCiphertext, MatrixA};
+use tiptoe_math::matrix::{self, Mat};
+use tiptoe_math::nibble::NibbleMat;
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_math::zq::Word;
+
+/// Deterministic random database + vector shapes from a seed. Sizes
+/// straddle the `TILE_COLS` blocking boundary via the `wide` flag.
+fn random_mat_u32(seed: u64, rows: usize, cols: usize) -> Mat<u32> {
+    let mut rng = seeded_rng(seed);
+    Mat::from_fn(rows, cols, |_, _| rng.gen())
+}
+
+fn random_vec<W: Word>(seed: u64, len: usize) -> Vec<W> {
+    let mut rng = seeded_rng(seed);
+    (0..len).map(|_| W::from_u64(rng.gen())).collect()
+}
+
+fn shape(rows_small: usize, cols_small: usize, wide: bool) -> (usize, usize) {
+    if wide {
+        // Straddle one TILE_COLS boundary so the tiled loop takes both
+        // the full-tile and remainder paths.
+        (rows_small, matrix::TILE_COLS + cols_small)
+    } else {
+        (rows_small, cols_small)
+    }
+}
+
+fn check_matvec_family<W: Word>(seed: u64, rows: usize, cols: usize, threads: usize) {
+    let db = random_mat_u32(seed, rows, cols);
+    let v: Vec<W> = random_vec(seed ^ 0xABCD, cols);
+    let scalar = matrix::matvec(&db, &v);
+    assert_eq!(matrix::matvec_blocked(&db, &v), scalar, "blocked != scalar");
+    assert_eq!(matrix::matvec_par(&db, &v, threads), scalar, "parallel != scalar");
+    let vs: Vec<Vec<W>> = (0..3).map(|b| random_vec(seed ^ (b as u64) << 8, cols)).collect();
+    let batched = matrix::matvec_batch(&db, &vs, threads);
+    for (b, vb) in vs.iter().enumerate() {
+        assert_eq!(batched[b], matrix::matvec(&db, vb), "batched != scalar at {b}");
+    }
+}
+
+fn check_preproc_family<W: Word>(seed: u64, rows: usize, cols: usize, n: usize, threads: usize) {
+    let db = random_mat_u32(seed, rows, cols);
+    let a = MatrixA::new(seed ^ 0x5EED, cols, n);
+    let range = a.row_range(0, cols);
+    let scalar: Mat<W> = scheme::preproc(&db, &range);
+    let par: Mat<W> = scheme::preproc_par(&db, &range, threads);
+    assert_eq!(par.data(), scalar.data(), "parallel preproc != scalar");
+
+    // Packed (signed 4-bit) storage: reduce entries into [-8, 8) mod p
+    // first so the nibble matrix represents the same residues.
+    let p = 1u64 << 17;
+    let reduced = Mat::from_fn(rows, cols, |i, j| {
+        let signed = (db.get(i, j) % 16) as i64 - 8;
+        signed.rem_euclid(p as i64) as u32
+    });
+    let packed = NibbleMat::from_residues_mod_p(&reduced, p);
+    let scalar_packed: Mat<W> = scheme::preproc_packed(&packed, &range);
+    let par_packed: Mat<W> = scheme::preproc_packed_par(&packed, &range, threads);
+    assert_eq!(par_packed.data(), scalar_packed.data(), "parallel packed preproc != scalar");
+
+    // Batched packed apply against per-ciphertext packed apply.
+    let cts: Vec<LweCiphertext<W>> =
+        (0..3).map(|b| LweCiphertext { c: random_vec(seed ^ (0xB0 + b as u64), cols) }).collect();
+    let batched = scheme::apply_packed_many(&packed, &cts, threads);
+    for (b, ct) in cts.iter().enumerate() {
+        assert_eq!(batched[b], scheme::apply_packed(&packed, ct), "packed batch at {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matvec_kernels_bit_identical_u64(
+        seed in any::<u64>(),
+        rows in 1usize..24,
+        cols in 1usize..96,
+        wide in any::<bool>(),
+        threads in 0usize..6,
+    ) {
+        let (rows, cols) = shape(rows, cols, wide);
+        check_matvec_family::<u64>(seed, rows, cols, threads);
+    }
+
+    #[test]
+    fn matvec_kernels_bit_identical_u32(
+        seed in any::<u64>(),
+        rows in 1usize..24,
+        cols in 1usize..96,
+        wide in any::<bool>(),
+        threads in 0usize..6,
+    ) {
+        let (rows, cols) = shape(rows, cols, wide);
+        check_matvec_family::<u32>(seed, rows, cols, threads);
+    }
+
+    #[test]
+    fn wide_kernels_bit_identical(
+        seed in any::<u64>(),
+        rows in 1usize..16,
+        cols in 1usize..48,
+        n in 1usize..24,
+        threads in 0usize..6,
+    ) {
+        let h = random_mat_u32(seed, rows, cols);
+        let h64: Mat<u64> = Mat::from_fn(rows, cols, |i, j| h.get(i, j) as u64);
+        let s: Vec<u64> = random_vec(seed ^ 0x77, cols);
+        prop_assert_eq!(
+            matrix::matvec_wide_par(&h64, &s, threads),
+            matrix::matvec_wide(&h64, &s)
+        );
+
+        let a: Mat<u64> = Mat::from_fn(cols, n, |i, j| {
+            u64::from_u64((i as u64) << 32 ^ j as u64 ^ seed)
+        });
+        let scalar: Mat<u64> = matrix::matmul_hint(&h, &a);
+        let par: Mat<u64> = matrix::matmul_hint_par(&h, &a, threads);
+        prop_assert_eq!(par.data(), scalar.data());
+    }
+}
+
+proptest! {
+    // Preproc re-expands seeded `A` rows per thread; fewer, heavier
+    // cases keep this test fast while still sweeping thread counts.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn preproc_kernels_bit_identical_u64(
+        seed in any::<u64>(),
+        rows in 1usize..20,
+        cols in 1usize..40,
+        n in 1usize..24,
+        threads in 0usize..6,
+    ) {
+        check_preproc_family::<u64>(seed, rows, cols, n, threads);
+    }
+
+    #[test]
+    fn preproc_kernels_bit_identical_u32(
+        seed in any::<u64>(),
+        rows in 1usize..20,
+        cols in 1usize..40,
+        n in 1usize..24,
+        threads in 0usize..6,
+    ) {
+        check_preproc_family::<u32>(seed, rows, cols, n, threads);
+    }
+}
