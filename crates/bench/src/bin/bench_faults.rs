@@ -1,0 +1,221 @@
+//! Machine-readable robustness benchmark: drives full private searches
+//! through the fault-injection layer (`tiptoe-net::fault`) at a sweep
+//! of injected fault rates and writes `BENCH_faults.json` at the
+//! repository root with client-perceived latency and MRR@100 per rate.
+//!
+//! ```text
+//! cargo run --release -p tiptoe-bench --bin bench_faults [docs] [queries]
+//! ```
+//!
+//! At rate 0.0 the harness additionally asserts the fault-tolerant
+//! path is bit-identical to the plain fan-out (the degraded machinery
+//! must cost nothing in quality when nothing fails).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, Corpus, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_ir::metrics::QualityReport;
+use tiptoe_ir::SearchHit;
+use tiptoe_net::{FaultPlan, FaultPolicy, FaultRates, LinkModel};
+
+const SEED: u64 = 51;
+const SHARDS: usize = 4;
+const K: usize = 100;
+const RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+
+struct RateRow {
+    rate: f64,
+    mrr: f64,
+    mean_latency: Duration,
+    max_latency: Duration,
+    retries: u32,
+    timeouts: u32,
+    corrupted: u32,
+    hedges: u32,
+    degraded_queries: usize,
+    searched_cluster_lost: usize,
+    url_failures: usize,
+}
+
+fn build(corpus: &Corpus, docs: usize, policy: Option<FaultPolicy>) -> TiptoeInstance<TextEmbedder> {
+    let mut config = TiptoeConfig::test_small(docs, SEED);
+    config.num_shards = SHARDS;
+    if let Some(policy) = policy {
+        config.fault_policy = policy;
+    }
+    config.validate();
+    let embedder = TextEmbedder::new(config.d_embed, SEED, 0);
+    TiptoeInstance::build(&config, embedder, corpus)
+}
+
+fn to_ir_hits(hits: &[tiptoe_core::client::RankedUrl]) -> Vec<SearchHit> {
+    hits.iter().map(|h| SearchHit { doc: h.doc, score: h.score }).collect()
+}
+
+fn main() {
+    let docs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(240);
+    let queries: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(20);
+    println!("== bench_faults: latency/quality vs injected fault rate ==");
+    println!("   {docs} docs, {queries} queries, {SHARDS} ranking shards, k={K}\n");
+
+    let corpus = generate(&CorpusConfig::small(docs, SEED), queries);
+    let relevant: Vec<u32> = corpus.queries.iter().map(|q| q.relevant).collect();
+    let link = LinkModel::paper();
+
+    let plain = build(&corpus, docs, None);
+    let tolerant = build(&corpus, docs, Some(FaultPolicy::tolerant()));
+    let policy = tolerant.config.fault_policy;
+
+    // Baseline: the plain (fault-oblivious) path, and the rate-0.0
+    // bit-identity check against it.
+    let mut plain_client = plain.new_client(7);
+    let mut check_client = tolerant.new_client(7);
+    let plain_results: Vec<Vec<SearchHit>> = corpus
+        .queries
+        .iter()
+        .map(|q| {
+            let a = plain_client.search(&plain, &q.text, K);
+            let b = check_client.search_with_faults(&tolerant, &q.text, K, &FaultPlan::none());
+            assert_eq!(a.cluster, b.cluster, "benign cluster drifted: {}", q.text);
+            assert_eq!(a.hits, b.hits, "benign hits drifted: {}", q.text);
+            to_ir_hits(&a.hits)
+        })
+        .collect();
+    let baseline = QualityReport::evaluate(&plain_results, &relevant, K);
+    println!("[ok] rate 0.0 is bit-identical to the plain path ({queries} queries)");
+    println!("     baseline MRR@{K} = {:.3}\n", baseline.mrr);
+
+    let mut rows: Vec<RateRow> = Vec::new();
+    for (ri, &rate) in RATES.iter().enumerate() {
+        let mut client = tolerant.new_client(7);
+        let mut results: Vec<Vec<SearchHit>> = Vec::with_capacity(queries);
+        let mut row = RateRow {
+            rate,
+            mrr: 0.0,
+            mean_latency: Duration::ZERO,
+            max_latency: Duration::ZERO,
+            retries: 0,
+            timeouts: 0,
+            corrupted: 0,
+            hedges: 0,
+            degraded_queries: 0,
+            searched_cluster_lost: 0,
+            url_failures: 0,
+        };
+        let mut total_latency = Duration::ZERO;
+        for (qi, query) in corpus.queries.iter().enumerate() {
+            let plan = if rate == 0.0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan::from_rates(
+                    SEED ^ (ri as u64) << 32 ^ qi as u64,
+                    FaultRates::mixed(rate),
+                )
+            };
+            let r = client.search_with_faults(&tolerant, &query.text, K, &plan);
+            let latency = r.cost.perceived_latency(&link);
+            total_latency += latency;
+            row.max_latency = row.max_latency.max(latency);
+            let dq = r.degraded.as_ref().expect("fault-tolerant searches report state");
+            row.retries += dq.rank_report.retries + dq.url_report.retries;
+            row.timeouts += dq.rank_report.timeouts + dq.url_report.timeouts;
+            row.corrupted += dq.rank_report.corrupted + dq.url_report.corrupted;
+            row.hedges += dq.rank_report.hedges + dq.url_report.hedges;
+            if !dq.missing_clusters.is_empty() || dq.url_failed {
+                row.degraded_queries += 1;
+            }
+            if dq.searched_cluster_missing {
+                row.searched_cluster_lost += 1;
+            }
+            if dq.url_failed {
+                row.url_failures += 1;
+            }
+            assert!(
+                dq.rank_report.timing.wall <= policy.deadline,
+                "rate {rate}, query {qi}: ranking wall {:?} blew the deadline",
+                dq.rank_report.timing.wall
+            );
+            results.push(to_ir_hits(&r.hits));
+        }
+        row.mean_latency = total_latency / queries as u32;
+        row.mrr = QualityReport::evaluate(&results, &relevant, K).mrr;
+        rows.push(row);
+    }
+
+    // The sweep must show the expected shape: quality degrades
+    // gracefully with the fault rate, never below zero, and the
+    // zero-rate row matches the baseline exactly.
+    assert!((rows[0].mrr - baseline.mrr).abs() < 1e-12, "rate 0.0 must match baseline MRR");
+    assert_eq!(rows[0].retries, 0, "no faults, no retries");
+
+    // --- Emit BENCH_faults.json at the workspace root. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"faults\",");
+    let _ = writeln!(json, "  \"docs\": {docs},");
+    let _ = writeln!(json, "  \"queries\": {queries},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"baseline_mrr\": {:.6},", baseline.mrr);
+    let _ = writeln!(json, "  \"policy\": {{");
+    let _ = writeln!(json, "    \"attempt_timeout_ms\": {},", policy.attempt_timeout.as_millis());
+    let _ = writeln!(json, "    \"max_retries\": {},", policy.max_retries);
+    let _ = writeln!(
+        json,
+        "    \"hedge_after_ms\": {},",
+        policy.hedge_after.map_or("null".to_string(), |h| h.as_millis().to_string())
+    );
+    let _ = writeln!(json, "    \"deadline_ms\": {}", policy.deadline.as_millis());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"fault_rate\": {:.2}, \"mrr_at_k\": {:.6}, \
+             \"mean_latency_ms\": {:.3}, \"max_latency_ms\": {:.3}, \
+             \"retries\": {}, \"timeouts\": {}, \"corrupted\": {}, \"hedges\": {}, \
+             \"degraded_queries\": {}, \"searched_cluster_lost\": {}, \
+             \"url_failures\": {}}}{comma}",
+            r.rate,
+            r.mrr,
+            r.mean_latency.as_secs_f64() * 1e3,
+            r.max_latency.as_secs_f64() * 1e3,
+            r.retries,
+            r.timeouts,
+            r.corrupted,
+            r.hedges,
+            r.degraded_queries,
+            r.searched_cluster_lost,
+            r.url_failures
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(root, &json).expect("write BENCH_faults.json");
+
+    println!("{json}");
+    println!("wrote {root}\n");
+    println!(
+        "{:>6} {:>9} {:>14} {:>13} {:>8} {:>9} {:>7} {:>9} {:>9}",
+        "rate", "MRR@100", "mean lat (ms)", "max lat (ms)", "retries", "timeouts", "hedges", "degraded", "url fail"
+    );
+    for r in &rows {
+        println!(
+            "{:>6.2} {:>9.3} {:>14.1} {:>13.1} {:>8} {:>9} {:>7} {:>9} {:>9}",
+            r.rate,
+            r.mrr,
+            r.mean_latency.as_secs_f64() * 1e3,
+            r.max_latency.as_secs_f64() * 1e3,
+            r.retries,
+            r.timeouts,
+            r.hedges,
+            r.degraded_queries,
+            r.url_failures
+        );
+    }
+}

@@ -174,7 +174,9 @@ impl AdService {
             rng,
         );
         let answer = self.creatives.answer(&pir_ct);
-        let payload = pir.recover(self.creatives.database(), &mut decoded, &answer);
+        let payload = pir
+            .recover(self.creatives.database(), &mut decoded, &answer)
+            .expect("in-process PIR answer has the declared length");
         let text = String::from_utf8_lossy(&payload);
         let want_id = self.ids_by_slot[cluster][best_row];
         text.lines().find_map(|line| {

@@ -27,9 +27,9 @@ use tiptoe_embed::quantize::Quantizer;
 use tiptoe_embed::vector::normalize;
 use tiptoe_embed::Embedder;
 use tiptoe_math::rng::{derive_seed, seeded_rng};
-use tiptoe_net::{timed, LinkModel, ParallelTiming};
+use tiptoe_net::{timed, FaultPlan, FaultReport, LinkModel, ParallelTiming};
 use tiptoe_pir::PirClient;
-use tiptoe_underhood::{ClientKey, DecodedToken, EncryptedSecret};
+use tiptoe_underhood::{combine_decoded_subset, ClientKey, DecodedToken, EncryptedSecret};
 
 use crate::batch::ClientMetadata;
 use crate::instance::TiptoeInstance;
@@ -111,6 +111,15 @@ impl QueryCost {
     }
 }
 
+/// The ranking-token material a client holds per query: the combined
+/// form on the fault-oblivious path, or one decoded token per shard on
+/// the fault-tolerant path (so decryption can proceed over any
+/// surviving subset — see [`combine_decoded_subset`]).
+enum RankTokens {
+    Combined(DecodedToken<u64>),
+    PerShard(Vec<DecodedToken<u64>>),
+}
+
 /// A prefetched, single-use token pair (ranking + URL) together with
 /// the **fresh** client key it was generated for. §6.3: a token — and
 /// therefore its inner secret — is consumed by exactly one query;
@@ -118,9 +127,27 @@ impl QueryCost {
 /// semantic security, so every fetch samples a new key.
 struct PreparedTokens {
     key: ClientKey,
-    rank: DecodedToken<u64>,
+    rank: RankTokens,
     url: DecodedToken<u32>,
     cost: QueryCost,
+}
+
+/// What degraded about a fault-tolerant query (present on
+/// [`SearchResults`] iff the instance's fault policy is enabled).
+#[derive(Debug, Clone, Default)]
+pub struct DegradedQuery {
+    /// Clusters whose ranking scores never arrived (their documents
+    /// cannot appear in `hits` this query).
+    pub missing_clusters: Vec<usize>,
+    /// The cluster this query searched was among the missing: the
+    /// returned hits carry zero scores and the query should be retried.
+    pub searched_cluster_missing: bool,
+    /// The URL server never delivered: `hits` is empty.
+    pub url_failed: bool,
+    /// Retry/timeout/hedge accounting for the ranking fan-out.
+    pub rank_report: FaultReport,
+    /// Retry/timeout/hedge accounting for the URL phase.
+    pub url_report: FaultReport,
 }
 
 /// Results of one private search.
@@ -133,6 +160,10 @@ pub struct SearchResults {
     pub hits: Vec<RankedUrl>,
     /// Exact costs of this query.
     pub cost: QueryCost,
+    /// Degraded-mode accounting: `Some` iff the instance's fault
+    /// policy is enabled (even on all-healthy queries, so callers can
+    /// check `missing_clusters.is_empty()` uniformly).
+    pub degraded: Option<DegradedQuery>,
 }
 
 /// The Tiptoe client state.
@@ -197,18 +228,35 @@ impl TiptoeClient {
 
         // The server expands the upload once and reuses it for both
         // services (§A.3's shared-secret-key optimization) and for
-        // every ranking shard.
+        // every ranking shard. On the fault-tolerant path the
+        // coordinator skips combining the per-shard ranking tokens:
+        // the client downloads all `W` of them (a `W×` token-phase
+        // download) so it can later decrypt over any surviving subset.
         let (expanded, t_expand) = timed(|| es.expand(uh_rank));
-        let (rank_token, t_rank) = instance.ranking.generate_token_expanded(&expanded);
+        let fault_tolerant = instance.config.fault_policy.enabled;
+        let (rank_tokens, t_rank) = if fault_tolerant {
+            let (parts, t) = instance.ranking.generate_token_parts_expanded(&expanded);
+            (parts, t)
+        } else {
+            let (combined, t) = instance.ranking.generate_token_expanded(&expanded);
+            (vec![combined], t)
+        };
         let (url_token, mut t_url) = instance.url.generate_token_expanded(&expanded);
         t_url.cpu += t_expand;
         t_url.wall += t_expand;
         cost.token_server = t_rank.then(t_url);
-        cost.token_down = rank_token.byte_len() + url_token.byte_len();
+        cost.token_down =
+            rank_tokens.iter().map(|t| t.byte_len()).sum::<u64>() + url_token.byte_len();
         instance.transcript.record_down("token", cost.token_down);
 
         let (decoded, t_decode) = timed(|| {
-            let rank = uh_rank.decode_token::<u64>(&key, &rank_token);
+            let rank = if fault_tolerant {
+                RankTokens::PerShard(
+                    rank_tokens.iter().map(|t| uh_rank.decode_token::<u64>(&key, t)).collect(),
+                )
+            } else {
+                RankTokens::Combined(uh_rank.decode_token::<u64>(&key, &rank_tokens[0]))
+            };
             let url = uh_url.decode_token::<u32>(&key, &url_token);
             (rank, url)
         });
@@ -251,10 +299,12 @@ impl TiptoeClient {
         let mut merged: Vec<RankedUrl> = Vec::new();
         let mut total_cost = QueryCost::default();
         let first_cluster = order.first().copied().unwrap_or(0);
+        let mut degraded: Option<DegradedQuery> = None;
         for &cluster in &order {
-            let results = self.search_in_cluster(instance, query, k, Some(cluster));
+            let results = self.search_in_cluster(instance, query, k, Some(cluster), None);
             total_cost = add_costs(&total_cost, &results.cost);
             merged.extend(results.hits);
+            degraded = merge_degraded(degraded, results.degraded);
         }
         merged.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
         // A dual-assigned document can surface from two probes; keep
@@ -262,7 +312,7 @@ impl TiptoeClient {
         let mut seen = std::collections::HashSet::new();
         merged.retain(|h| seen.insert(h.doc));
         merged.truncate(k);
-        SearchResults { cluster: first_cluster, hits: merged, cost: total_cost }
+        SearchResults { cluster: first_cluster, hits: merged, cost: total_cost, degraded }
     }
 
     /// Executes one private search, consuming one token (fetching one
@@ -277,7 +327,33 @@ impl TiptoeClient {
         query: &str,
         k: usize,
     ) -> SearchResults {
-        self.search_in_cluster(instance, query, k, None)
+        self.search_in_cluster(instance, query, k, None, None)
+    }
+
+    /// One private search under an explicit fault plan: the query runs
+    /// through the fault-aware dispatcher (timeouts, retries, hedging
+    /// per the instance's [`tiptoe_net::FaultPolicy`]) and completes in
+    /// degraded mode over whatever shards survive.
+    /// [`SearchResults::degraded`] reports exactly which clusters went
+    /// unanswered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the instance's fault policy is disabled
+    /// (the policy governs token shape at fetch time, so it cannot be
+    /// chosen per query).
+    pub fn search_with_faults<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        plan: &FaultPlan,
+    ) -> SearchResults {
+        assert!(
+            instance.config.fault_policy.enabled,
+            "search_with_faults needs an instance with fault_policy.enabled"
+        );
+        self.search_in_cluster(instance, query, k, None, Some(plan))
     }
 
     /// One protocol round, optionally forcing the searched cluster
@@ -288,6 +364,7 @@ impl TiptoeClient {
         query: &str,
         k: usize,
         force_cluster: Option<usize>,
+        plan: Option<&FaultPlan>,
     ) -> SearchResults {
         assert!(k > 0, "k must be positive");
         if self.tokens.is_empty() {
@@ -321,14 +398,51 @@ impl TiptoeClient {
         instance.transcript.record_up("ranking", cost.rank_up);
 
         // --- Ranking service (step 2).
-        let (applied, rank_timing) = instance.ranking.answer(&ct);
-        cost.rank_server = rank_timing;
-        cost.rank_down = (applied.len() * 8) as u64;
-        instance.transcript.record_down("ranking", cost.rank_down);
+        let policy = &instance.config.fault_policy;
+        let benign = FaultPlan::none();
+        let plan = plan.unwrap_or(&benign);
+        let (applied, survivors, mut degraded) = if policy.enabled {
+            let da = instance.ranking.answer_with_faults(&ct, plan, policy);
+            cost.rank_server = da.report.timing;
+            cost.rank_down = (da.scores.len() * 8) as u64;
+            instance.transcript.record_down("ranking", cost.rank_down);
+            if da.report.wasted_response_bytes > 0 {
+                instance
+                    .transcript
+                    .record_down("ranking-retries", da.report.wasted_response_bytes);
+            }
+            let dq = DegradedQuery {
+                searched_cluster_missing: da.missing_clusters.contains(&cluster),
+                missing_clusters: da.missing_clusters,
+                url_failed: false,
+                rank_report: da.report,
+                url_report: FaultReport::default(),
+            };
+            (da.scores, da.survivors, Some(dq))
+        } else {
+            let (applied, rank_timing) = instance.ranking.answer(&ct);
+            cost.rank_server = rank_timing;
+            cost.rank_down = (applied.len() * 8) as u64;
+            instance.transcript.record_down("ranking", cost.rank_down);
+            (applied, Vec::new(), None)
+        };
 
-        // --- Client: decrypt scores, pick the best member.
+        // --- Client: decrypt scores, pick the best member. On the
+        // degraded path the per-shard tokens of the *surviving* shards
+        // are summed; if no shard answered, every score is zero.
         let ((scores, best_row), t_rankdec) = timed(|| {
-            let raw = instance.ranking.underhood().decrypt(&mut prepared.rank, &applied);
+            let uh_rank = instance.ranking.underhood();
+            let raw = match &mut prepared.rank {
+                RankTokens::Combined(token) => uh_rank.decrypt(token, &applied),
+                RankTokens::PerShard(parts) => {
+                    if survivors.iter().any(|&ok| ok) {
+                        let mut subset = combine_decoded_subset(parts, &survivors);
+                        uh_rank.decrypt(&mut subset, &applied)
+                    } else {
+                        vec![0u64; applied.len()]
+                    }
+                }
+            };
             let n_members = self.meta.cluster_sizes[cluster] as usize;
             let scores: Vec<i64> = raw
                 .iter()
@@ -358,15 +472,42 @@ impl TiptoeClient {
         });
         cost.url_up = url_ct.byte_len();
         instance.transcript.record_up("url", cost.url_up);
-        let (answer, url_timing) = instance.url.answer(&url_ct);
-        cost.url_server = url_timing;
-        cost.url_down = (answer.len() * 4) as u64;
-        instance.transcript.record_down("url", cost.url_down);
+        let answer: Option<Vec<u32>> = if policy.enabled {
+            // The URL server shares the plan's address space at index
+            // `W`, after the ranking shards.
+            let shard_base = instance.ranking.num_shards();
+            let (answer, report) = instance.url.answer_with_faults(&url_ct, shard_base, plan, policy);
+            cost.url_server = report.timing;
+            // A fixed-size phase regardless of outcome: accounting (and
+            // the observable wire footprint) must not depend on faults.
+            cost.url_down = (instance.url.database().rows() * 4) as u64;
+            instance.transcript.record_down("url", cost.url_down);
+            if report.wasted_response_bytes > 0 {
+                instance.transcript.record_down("url-retries", report.wasted_response_bytes);
+            }
+            if let Some(dq) = degraded.as_mut() {
+                dq.url_failed = answer.is_none();
+                dq.url_report = report;
+            }
+            answer
+        } else {
+            let (answer, url_timing) = instance.url.answer(&url_ct);
+            cost.url_server = url_timing;
+            cost.url_down = (answer.len() * 4) as u64;
+            instance.transcript.record_down("url", cost.url_down);
+            Some(answer)
+        };
 
-        // --- Client: recover the record and assemble ranked URLs.
+        // --- Client: recover the record and assemble ranked URLs. A
+        // failed URL phase (or a malformed record) degrades to an
+        // empty hit list instead of crashing the client.
         let (hits, t_recover) = timed(|| {
-            let record =
-                pir_client.recover(instance.url.database(), &mut prepared.url, &answer);
+            let Some(answer) = answer else { return Vec::new() };
+            let Ok(record) =
+                pir_client.recover(instance.url.database(), &mut prepared.url, &answer)
+            else {
+                return Vec::new();
+            };
             // tzip streams are self-delimiting, so the record's zero
             // padding is ignored by the decoder.
             let entries =
@@ -392,7 +533,41 @@ impl TiptoeClient {
         });
 
         cost.client_time = t_embed + t_rankdec + t_urlenc + t_recover;
-        SearchResults { cluster, hits, cost }
+        SearchResults { cluster, hits, cost, degraded }
+    }
+}
+
+/// Accumulates per-probe degraded-mode reports for multi-probe
+/// searches: missing clusters union, flags OR, counters sum.
+fn merge_degraded(
+    acc: Option<DegradedQuery>,
+    next: Option<DegradedQuery>,
+) -> Option<DegradedQuery> {
+    match (acc, next) {
+        (None, next) => next,
+        (acc, None) => acc,
+        (Some(mut acc), Some(next)) => {
+            for c in next.missing_clusters {
+                if !acc.missing_clusters.contains(&c) {
+                    acc.missing_clusters.push(c);
+                }
+            }
+            acc.searched_cluster_missing |= next.searched_cluster_missing;
+            acc.url_failed |= next.url_failed;
+            acc.rank_report.retries += next.rank_report.retries;
+            acc.rank_report.timeouts += next.rank_report.timeouts;
+            acc.rank_report.corrupted += next.rank_report.corrupted;
+            acc.rank_report.hedges += next.rank_report.hedges;
+            acc.rank_report.wasted_response_bytes += next.rank_report.wasted_response_bytes;
+            acc.rank_report.timing = acc.rank_report.timing.then(next.rank_report.timing);
+            acc.url_report.retries += next.url_report.retries;
+            acc.url_report.timeouts += next.url_report.timeouts;
+            acc.url_report.corrupted += next.url_report.corrupted;
+            acc.url_report.hedges += next.url_report.hedges;
+            acc.url_report.wasted_response_bytes += next.url_report.wasted_response_bytes;
+            acc.url_report.timing = acc.url_report.timing.then(next.url_report.timing);
+            Some(acc)
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 use tiptoe_cluster::ClusterConfig;
 use tiptoe_embed::quantize::Quantizer;
 use tiptoe_lwe::LweParams;
+use tiptoe_net::FaultPolicy;
 use tiptoe_rlwe::RlweParams;
 
 /// Server-side parallelism and batching knobs.
@@ -60,6 +61,12 @@ pub struct TiptoeConfig {
     pub pack_ranking_db: bool,
     /// Server-side thread-count and query-batching knobs.
     pub parallelism: Parallelism,
+    /// Coordinator fault-recovery knobs (timeouts, retries, hedging).
+    /// Disabled by default: the query path then uses the raw fan-out
+    /// and is bit-identical to the fault-oblivious protocol. When
+    /// enabled, clients fetch per-shard ranking tokens so they can
+    /// decrypt over any surviving subset of shards (degraded mode).
+    pub fault_policy: FaultPolicy,
     /// Master seed (all internal randomness derives from it).
     pub seed: u64,
 }
@@ -85,6 +92,7 @@ impl TiptoeConfig {
             pca_sample: 2048.min(num_docs),
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
+            fault_policy: FaultPolicy::default(),
             seed,
         }
     }
@@ -106,6 +114,7 @@ impl TiptoeConfig {
             pca_sample: 2048.min(num_docs),
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
+            fault_policy: FaultPolicy::default(),
             seed,
         }
     }
@@ -135,6 +144,7 @@ impl TiptoeConfig {
             pca_sample: 512.min(num_docs),
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
+            fault_policy: FaultPolicy::default(),
             seed,
         }
     }
@@ -162,6 +172,9 @@ impl TiptoeConfig {
             self.d_reduced
         );
         assert!(self.num_shards >= 1, "need at least one shard");
+        if self.fault_policy.enabled {
+            self.fault_policy.validate();
+        }
         assert!(self.parallelism.batch_size >= 1, "need a positive query batch size");
         assert!(self.urls_per_batch >= 1, "need at least one URL per batch");
         if self.pack_ranking_db {

@@ -160,7 +160,9 @@ pub fn search_encrypted<R: Rng + ?Sized>(
         rng,
     );
     let answer = server.server.answer(&ct);
-    let mut record = pir.recover(server.server.database(), &mut decoded, &answer);
+    let mut record = pir
+        .recover(server.server.database(), &mut decoded, &answer)
+        .expect("in-process PIR answer has the declared length");
 
     stream_cipher(index_key.cipher_key, cluster as u64, &mut record);
     let Ok(raw) = tiptoe_corpus::tzip::decompress(&record) else {

@@ -154,7 +154,9 @@ impl KeywordBackend {
             rng,
         );
         let answer = self.server.answer(&ct);
-        let record = client.recover(self.server.database(), &mut decoded, &answer);
+        let record = client
+            .recover(self.server.database(), &mut decoded, &answer)
+            .expect("in-process PIR answer has the declared length");
         let text = String::from_utf8_lossy(&record);
         text.lines()
             .filter_map(|line| {

@@ -17,8 +17,9 @@ use tiptoe_lwe::{scheme, LweCiphertext, MatrixA};
 use tiptoe_math::matrix::Mat;
 use tiptoe_math::nibble::NibbleMat;
 use tiptoe_math::rng::derive_seed;
+use tiptoe_math::wire::{WireError, WireReader, WireWriter};
 use tiptoe_math::zq::Word;
-use tiptoe_net::{simulate_parallel, ParallelTiming};
+use tiptoe_net::{dispatch_faulty, simulate_parallel, FaultPlan, FaultPolicy, FaultReport, ParallelTiming};
 use tiptoe_underhood::{
     combine_partial_tokens, EncryptedSecret, ExpandedSecret, QueryToken, ServerHint, Underhood,
 };
@@ -82,9 +83,27 @@ pub struct RankingService {
     a: MatrixA,
     rows: usize,
     cols: usize,
+    /// Embedding dimension: each cluster owns a contiguous `d`-column
+    /// block, so shard/cluster bookkeeping divides by `d`.
+    d: usize,
     parallelism: Parallelism,
     /// Wall-clock spent in cryptographic preprocessing at build time.
     pub preproc_time: Duration,
+}
+
+/// What a fault-tolerant ranking fan-out returned: the summed scores
+/// over the shards that answered, plus exactly what went missing.
+#[derive(Debug)]
+pub struct DegradedAnswer {
+    /// `Σ_w a_w` over the *surviving* shards (failed shards contribute
+    /// zero, so their clusters decode to garbage the client discards).
+    pub scores: Vec<u64>,
+    /// `survivors[w]` is true iff shard `w` delivered a verified answer.
+    pub survivors: Vec<bool>,
+    /// Cluster indices whose scores are unavailable this query.
+    pub missing_clusters: Vec<usize>,
+    /// Retry/timeout/hedge accounting and virtual timing.
+    pub report: FaultReport,
 }
 
 impl RankingService {
@@ -145,6 +164,7 @@ impl RankingService {
             a,
             rows: matrix.rows(),
             cols: m,
+            d,
             parallelism: config.parallelism,
             preproc_time,
         }
@@ -277,6 +297,21 @@ impl RankingService {
         (combined, timing)
     }
 
+    /// Per-shard query tokens, *not* combined: clients on the
+    /// fault-tolerant path keep them separate so they can decrypt over
+    /// any surviving subset of shards
+    /// ([`tiptoe_underhood::combine_decoded_subset`]). Costs `W×` the
+    /// token download of the combined path.
+    pub fn generate_token_parts_expanded(
+        &self,
+        es: &ExpandedSecret,
+    ) -> (Vec<QueryToken>, ParallelTiming) {
+        let threads = self.parallelism.num_threads;
+        simulate_parallel(&self.shards, |shard| {
+            self.uh.generate_token_expanded_par(&shard.server_hint, es, threads)
+        })
+    }
+
     /// The column range `[start, end)` served by shard `idx`.
     ///
     /// # Panics
@@ -285,6 +320,17 @@ impl RankingService {
     pub fn shard_columns(&self, idx: usize) -> (usize, usize) {
         let s = &self.shards[idx];
         (s.col_start, s.col_start + s.db.cols())
+    }
+
+    /// The cluster range `[start, end)` served by shard `idx` (shards
+    /// partition on cluster boundaries, so this is exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn shard_clusters(&self, idx: usize) -> (usize, usize) {
+        let (lo, hi) = self.shard_columns(idx);
+        (lo / self.d, hi / self.d)
     }
 
     /// One worker's partial product `M_w · ct_w` (the §4.3 per-machine
@@ -343,6 +389,70 @@ impl RankingService {
             }
         }
         (total, timing)
+    }
+
+    /// Fault-aware online query: the same fan-out as
+    /// [`RankingService::answer`], but each worker's response crosses
+    /// the checksummed envelope under `plan`'s injected faults, with
+    /// `policy`'s timeouts, retries, and hedging. Shards that never
+    /// deliver contribute zero to the sum and their clusters are
+    /// reported in [`DegradedAnswer::missing_clusters`].
+    ///
+    /// With a benign plan every shard answers on the first attempt and
+    /// `scores` equals [`RankingService::answer`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension differs from `d·C` or the
+    /// policy is invalid.
+    pub fn answer_with_faults(
+        &self,
+        ct: &LweCiphertext<u64>,
+        plan: &FaultPlan,
+        policy: &FaultPolicy,
+    ) -> DegradedAnswer {
+        assert_eq!(ct.c.len(), self.cols, "ciphertext dimension mismatch");
+        let rows = self.rows;
+        let (parts, report) = dispatch_faulty(
+            &self.shards,
+            0,
+            plan,
+            policy,
+            |_, shard| {
+                let chunk = LweCiphertext {
+                    c: ct.c[shard.col_start..shard.col_start + shard.db.cols()].to_vec(),
+                };
+                let mut w = WireWriter::new();
+                w.put_u64_slice(&shard.db.apply(&chunk));
+                w.finish()
+            },
+            |_, bytes| {
+                let mut r = WireReader::new(bytes);
+                let part = r.get_u64_slice()?;
+                r.finish()?;
+                if part.len() != rows {
+                    return Err(WireError::Invalid("shard answer has the wrong row count"));
+                }
+                Ok(part)
+            },
+        );
+        let mut scores = vec![0u64; rows];
+        let survivors: Vec<bool> = parts.iter().map(Option::is_some).collect();
+        for part in parts.into_iter().flatten() {
+            for (t, p) in scores.iter_mut().zip(part.iter()) {
+                *t = t.wadd(*p);
+            }
+        }
+        let missing_clusters = survivors
+            .iter()
+            .enumerate()
+            .filter(|(_, ok)| !**ok)
+            .flat_map(|(w, _)| {
+                let (lo, hi) = self.shard_clusters(w);
+                lo..hi
+            })
+            .collect();
+        DegradedAnswer { scores, survivors, missing_clusters, report }
     }
 }
 

@@ -5,7 +5,8 @@ use std::time::Duration;
 
 use tiptoe_lwe::{LweCiphertext, MatrixA};
 use tiptoe_math::rng::derive_seed;
-use tiptoe_net::{timed, ParallelTiming};
+use tiptoe_math::wire::{WireError, WireReader, WireWriter};
+use tiptoe_net::{dispatch_faulty, timed, FaultPlan, FaultPolicy, FaultReport, ParallelTiming};
 use tiptoe_pir::{PirDatabase, PirServer};
 use tiptoe_underhood::{EncryptedSecret, ExpandedSecret, QueryToken, Underhood};
 
@@ -73,6 +74,47 @@ impl UrlService {
         (answer, ParallelTiming { wall, cpu: wall })
     }
 
+    /// Fault-aware online query: the single URL server answers through
+    /// the checksummed envelope under `plan`'s faults (addressed as
+    /// shard `shard_base` so ranking and URL share one plan), with
+    /// `policy`'s timeouts, retries, and hedging. Returns `None` if the
+    /// server never delivers a verified answer within the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension differs from the record
+    /// count or the policy is invalid.
+    pub fn answer_with_faults(
+        &self,
+        ct: &LweCiphertext<u32>,
+        shard_base: usize,
+        plan: &FaultPlan,
+        policy: &FaultPolicy,
+    ) -> (Option<Vec<u32>>, FaultReport) {
+        let rows = self.server.database().rows();
+        let (mut answers, report) = dispatch_faulty(
+            std::slice::from_ref(&self.server),
+            shard_base,
+            plan,
+            policy,
+            |_, server| {
+                let mut w = WireWriter::new();
+                w.put_u32_slice(&server.answer(ct));
+                w.finish()
+            },
+            |_, bytes| {
+                let mut r = WireReader::new(bytes);
+                let answer = r.get_u32_slice()?;
+                r.finish()?;
+                if answer.len() != rows {
+                    return Err(WireError::Invalid("PIR answer has the wrong row count"));
+                }
+                Ok(answer)
+            },
+        );
+        (answers.pop().flatten(), report)
+    }
+
     /// Server-side storage.
     pub fn storage_bytes(&self) -> u64 {
         self.server.database().storage_bytes()
@@ -118,7 +160,8 @@ mod tests {
             &mut rng,
         );
         let (answer, _) = service.answer(&ct);
-        let record = client.recover(service.database(), &mut decoded, &answer);
+        let record =
+            client.recover(service.database(), &mut decoded, &answer).expect("full answer");
 
         // The recovered (padded) record starts with the stored batch.
         let want = &artifacts.url_batches[batch_idx].compressed;

@@ -480,6 +480,15 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, TzipError> {
     }
     let expected_len =
         u32::from_le_bytes(data[..4].try_into().expect("4 bytes checked")) as usize;
+    // The 4-byte header is attacker-controlled: bound the declared
+    // size (URL batches are ≤ ~40 KiB; 64 MiB is generous for every
+    // caller) and never pre-reserve more than the *compressed* input
+    // could plausibly expand to, so a hostile header cannot force a
+    // multi-gigabyte allocation before the first decoded byte.
+    const MAX_DECLARED_LEN: usize = 1 << 26;
+    if expected_len > MAX_DECLARED_LEN {
+        return Err(TzipError::Corrupt("declared size exceeds the decoder limit"));
+    }
     let mut pos = 4usize;
     let litlen_lengths = read_lengths(data, &mut pos, NUM_LITLEN)?;
     let dist_lengths = read_lengths(data, &mut pos, NUM_DIST)?;
@@ -487,7 +496,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, TzipError> {
     let dist_tree = DecodeTree::build(&dist_lengths)?;
 
     let mut reader = BitReader::new(&data[pos..]);
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::with_capacity(expected_len.min(data.len().saturating_mul(256).max(1 << 12)));
     loop {
         let sym = litlen_tree.decode(&mut reader)?;
         if sym == EOB {

@@ -1,0 +1,845 @@
+//! Deterministic fault injection and fault-aware coordinator dispatch.
+//!
+//! The paper's threat model (§2) disclaims availability under
+//! *malicious* servers, but its 45-machine deployment (§8) still has
+//! to survive the honest-but-failing cluster: crashed workers, tail
+//! stragglers, and corrupted or truncated responses. This module adds
+//! that robustness layer to the simulated cluster:
+//!
+//! - [`FaultPlan`]: a seeded, fully deterministic schedule of injected
+//!   faults, addressed by `(shard, attempt)`. Forced faults (a shard
+//!   that always crashes, a flaky shard that recovers after `k`
+//!   failures) compose with seeded per-attempt fault *rates*.
+//! - [`FaultPolicy`]: the coordinator's recovery knobs — per-attempt
+//!   timeout, bounded retry with exponential backoff, an optional
+//!   hedged backup request, and an overall per-shard deadline.
+//! - [`seal`]/[`open`]: a checksummed response envelope so corrupted
+//!   or truncated payloads are *detected* (and fail into the retry
+//!   path as [`WireError`]s) instead of being decoded as garbage.
+//! - [`dispatch_faulty`]: the fault-aware replacement for
+//!   [`crate::simulate_parallel`] on the query path. It executes
+//!   shards sequentially but accounts for them in **virtual time**:
+//!   a crashed worker costs one attempt timeout of wall-clock and no
+//!   CPU; a straggler's virtual latency is `measured · factor +
+//!   extra`; retries add backoff; hedged requests launch at
+//!   `hedge_after`. The resulting [`FaultReport`] feeds the same
+//!   [`ParallelTiming`] accounting the healthy path uses, so injected
+//!   faults are visible in latency numbers.
+//!
+//! Determinism: every fault decision derives from the plan seed and
+//! the `(shard, attempt)` address, never from wall-clock time. The
+//! `Straggle::factor` knob scales *measured* compute (and is therefore
+//! machine-dependent), while `Straggle::extra` adds a fixed virtual
+//! delay — tests that must be deterministic use `extra` delays large
+//! enough to dominate any plausible measured time.
+
+use std::time::Duration;
+
+use tiptoe_math::wire::{WireError, WireReader, WireWriter};
+
+use crate::{timed, ParallelTiming};
+
+/// Hard cap on an envelope payload (bounds allocation from hostile
+/// length fields).
+pub const MAX_ENVELOPE_PAYLOAD: usize = 1 << 30;
+
+/// Bytes added by [`seal`]: magic, length, checksum.
+pub const ENVELOPE_OVERHEAD: usize = 16;
+
+const ENVELOPE_MAGIC: u32 = 0x5450_5431; // "TPT1"
+
+/// Attempt-number namespace bit for hedged backup requests, so a
+/// hedge draws its own deterministic fault decision.
+const HEDGE_FLAG: u32 = 1 << 16;
+
+/// FNV-1a 64-bit checksum (cheap, deterministic, and plenty to detect
+/// the random corruption this harness injects; not cryptographic).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps a shard response payload in the checksummed wire envelope.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_ENVELOPE_PAYLOAD`].
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_ENVELOPE_PAYLOAD, "envelope payload too large");
+    let mut w = WireWriter::with_capacity(payload.len() + ENVELOPE_OVERHEAD);
+    w.put_u32(ENVELOPE_MAGIC);
+    w.put_u32(payload.len() as u32);
+    w.put_u64(checksum(payload));
+    w.put_bytes(payload);
+    w.finish()
+}
+
+/// Verifies and unwraps a sealed response.
+///
+/// # Errors
+///
+/// Fails on truncation, a bad magic, an oversize declared length,
+/// trailing bytes, or a checksum mismatch — every corruption mode the
+/// fault plan can inject maps onto one of these.
+pub fn open(bytes: &[u8]) -> Result<&[u8], WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_u32()? != ENVELOPE_MAGIC {
+        return Err(WireError::Invalid("bad envelope magic"));
+    }
+    let len = r.get_u32()? as usize;
+    if len > MAX_ENVELOPE_PAYLOAD {
+        return Err(WireError::Invalid("envelope payload too large"));
+    }
+    let sum = r.get_u64()?;
+    let payload = r.get_bytes(len)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid("trailing bytes after envelope"));
+    }
+    if checksum(payload) != sum {
+        return Err(WireError::Invalid("envelope checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The worker never answers; the coordinator waits out the attempt
+    /// timeout.
+    Crash,
+    /// The worker answers correctly but slowly: its virtual latency is
+    /// `measured · factor + extra`. `factor` scales measured compute
+    /// (machine-dependent); `extra` is a fixed, fully deterministic
+    /// virtual delay.
+    Straggle {
+        /// Multiplier on the measured per-attempt compute time.
+        factor: f64,
+        /// Fixed additional virtual delay.
+        extra: Duration,
+    },
+    /// The response arrives with flipped bits (caught by the envelope
+    /// checksum).
+    Corrupt,
+    /// The response is cut off mid-stream.
+    Truncate,
+}
+
+/// Seeded per-attempt fault probabilities (each attempt of each shard
+/// draws independently and deterministically from the plan seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability of a [`FaultKind::Crash`].
+    pub crash: f64,
+    /// Probability of a [`FaultKind::Straggle`].
+    pub straggle: f64,
+    /// Probability of a [`FaultKind::Corrupt`].
+    pub corrupt: f64,
+    /// Probability of a [`FaultKind::Truncate`].
+    pub truncate: f64,
+    /// Compute multiplier applied by rate-drawn stragglers.
+    pub straggle_factor: f64,
+    /// Fixed virtual delay added by rate-drawn stragglers.
+    pub straggle_extra: Duration,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self {
+            crash: 0.0,
+            straggle: 0.0,
+            corrupt: 0.0,
+            truncate: 0.0,
+            straggle_factor: 10.0,
+            straggle_extra: Duration::ZERO,
+        }
+    }
+}
+
+impl FaultRates {
+    /// Splits a single aggregate fault rate across the four kinds
+    /// (40% crash, 30% straggle, 20% corrupt, 10% truncate) — the
+    /// mix used by the `bench_faults` sweep.
+    pub fn mixed(rate: f64) -> Self {
+        Self {
+            crash: rate * 0.4,
+            straggle: rate * 0.3,
+            corrupt: rate * 0.2,
+            truncate: rate * 0.1,
+            ..Self::default()
+        }
+    }
+}
+
+/// A deterministic, seeded schedule of injected faults.
+///
+/// Lookup order for `(shard, attempt)`: one-shot forced faults, then
+/// sticky per-shard faults, then the seeded rates. The default plan
+/// injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: Option<FaultRates>,
+    /// Faults applied on every attempt of a shard.
+    sticky: Vec<(usize, FaultKind)>,
+    /// Faults applied at one specific `(shard, attempt)` address.
+    once: Vec<(usize, u32, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan drawing faults from seeded per-attempt rates.
+    pub fn from_rates(seed: u64, rates: FaultRates) -> Self {
+        Self { seed, rates: Some(rates), ..Self::default() }
+    }
+
+    /// Forces `kind` at one specific `(shard, attempt)`.
+    pub fn with_fault(mut self, shard: usize, attempt: u32, kind: FaultKind) -> Self {
+        self.once.push((shard, attempt, kind));
+        self
+    }
+
+    /// Forces `kind` on every attempt of `shard`.
+    pub fn with_shard_fault(mut self, shard: usize, kind: FaultKind) -> Self {
+        self.sticky.push((shard, kind));
+        self
+    }
+
+    /// A shard that never answers (hard crash).
+    pub fn crash_shard(self, shard: usize) -> Self {
+        self.with_shard_fault(shard, FaultKind::Crash)
+    }
+
+    /// A persistent straggler.
+    pub fn straggle_shard(self, shard: usize, factor: f64, extra: Duration) -> Self {
+        self.with_shard_fault(shard, FaultKind::Straggle { factor, extra })
+    }
+
+    /// A flaky shard: crashes on its first `failures` attempts, then
+    /// recovers.
+    pub fn flaky_then_recover(mut self, shard: usize, failures: u32) -> Self {
+        for attempt in 0..failures {
+            self.once.push((shard, attempt, FaultKind::Crash));
+        }
+        self
+    }
+
+    /// Whether this plan can never inject a fault.
+    pub fn is_benign(&self) -> bool {
+        self.sticky.is_empty()
+            && self.once.is_empty()
+            && self.rates.map_or(true, |r| {
+                r.crash <= 0.0 && r.straggle <= 0.0 && r.corrupt <= 0.0 && r.truncate <= 0.0
+            })
+    }
+
+    /// The fault injected at `(shard, attempt)`, if any. Deterministic
+    /// in the plan alone.
+    pub fn fault_for(&self, shard: usize, attempt: u32) -> Option<FaultKind> {
+        if let Some(&(_, _, kind)) =
+            self.once.iter().find(|&&(s, a, _)| s == shard && a == attempt)
+        {
+            return Some(kind);
+        }
+        if let Some(&(_, kind)) = self.sticky.iter().find(|&&(s, _)| s == shard) {
+            return Some(kind);
+        }
+        let rates = self.rates?;
+        let u = unit_draw(self.seed, shard as u64, attempt as u64);
+        let mut bar = rates.crash;
+        if u < bar {
+            return Some(FaultKind::Crash);
+        }
+        bar += rates.straggle;
+        if u < bar {
+            return Some(FaultKind::Straggle {
+                factor: rates.straggle_factor,
+                extra: rates.straggle_extra,
+            });
+        }
+        bar += rates.corrupt;
+        if u < bar {
+            return Some(FaultKind::Corrupt);
+        }
+        bar += rates.truncate;
+        if u < bar {
+            return Some(FaultKind::Truncate);
+        }
+        None
+    }
+
+    /// The plan seed (drives deterministic corruption positions).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// SplitMix64-style mix of the plan seed and an attempt address into
+/// a uniform draw in `[0, 1)`.
+fn unit_draw(seed: u64, shard: u64, attempt: u64) -> f64 {
+    let mut x = seed
+        .wrapping_add(shard.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(attempt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The coordinator's recovery policy.
+///
+/// Disabled by default: with `enabled == false` the query path uses
+/// the raw [`crate::simulate_parallel`] fan-out and is bit-identical
+/// to the pre-fault-tolerance behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Whether the fault-aware dispatch (and the per-shard token path
+    /// it requires) is active.
+    pub enabled: bool,
+    /// Per-attempt, per-shard timeout: a worker that has not delivered
+    /// a verifiable response by then is abandoned.
+    pub attempt_timeout: Duration,
+    /// Additional attempts after the first (so a shard is tried at
+    /// most `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Base backoff before retry `i` (waits `backoff · 2^(i-1)`).
+    pub backoff: Duration,
+    /// If set, a backup request is hedged at this offset whenever the
+    /// primary has not succeeded by then; the shard completes at the
+    /// earlier of the two arrivals.
+    pub hedge_after: Option<Duration>,
+    /// Per-shard budget across all attempts and backoffs; once spent,
+    /// the shard is declared failed and the query degrades.
+    pub deadline: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            attempt_timeout: Duration::from_millis(250),
+            max_retries: 2,
+            backoff: Duration::from_millis(5),
+            hedge_after: Some(Duration::from_millis(100)),
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// The default recovery knobs with fault tolerance switched on.
+    pub fn tolerant() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is zero or exceeds the deadline, or a
+    /// hedge would launch after the attempt already timed out.
+    pub fn validate(&self) {
+        assert!(self.attempt_timeout > Duration::ZERO, "attempt timeout must be positive");
+        assert!(self.attempt_timeout <= self.deadline, "deadline shorter than one attempt");
+        if let Some(h) = self.hedge_after {
+            assert!(h < self.attempt_timeout, "hedge must launch before the attempt times out");
+        }
+    }
+}
+
+/// Per-shard outcome of a fault-aware dispatch.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Whether the shard delivered a verified answer in time.
+    pub ok: bool,
+    /// Attempts launched (excluding hedges).
+    pub attempts: u32,
+    /// Whether a hedged backup request was launched.
+    pub hedged: bool,
+    /// Virtual wall-clock from dispatch to answer (or to giving up),
+    /// including timeouts and backoff waits.
+    pub wall: Duration,
+}
+
+/// Aggregate outcome of one fault-aware fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Retries launched beyond each shard's first attempt.
+    pub retries: u32,
+    /// Attempts abandoned at the timeout (crashes and slow stragglers).
+    pub timeouts: u32,
+    /// Responses rejected by the envelope or the payload parser.
+    pub corrupted: u32,
+    /// Hedged backup requests launched.
+    pub hedges: u32,
+    /// Bytes of rejected responses (re-downloaded on retry; feeds the
+    /// transcript's retry accounting).
+    pub wasted_response_bytes: u64,
+    /// Virtual timing: `wall` = slowest shard including its waits,
+    /// `cpu` = every executed attempt (wasted work included).
+    pub timing: ParallelTiming,
+}
+
+impl FaultReport {
+    /// Indices of shards that never delivered.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.shards.iter().enumerate().filter(|(_, s)| !s.ok).map(|(i, _)| i).collect()
+    }
+
+    /// Whether every shard answered.
+    pub fn all_ok(&self) -> bool {
+        self.shards.iter().all(|s| s.ok)
+    }
+}
+
+/// How one attempt resolved, in virtual time relative to its launch.
+enum Delivery<R> {
+    /// A verified answer arrived at `at`.
+    Ok { value: R, at: Duration },
+    /// Nothing verifiable arrived by the attempt timeout.
+    TimedOut,
+    /// A response arrived at `at` but failed the envelope or parser.
+    Bad { at: Duration, bytes: u64 },
+}
+
+/// Fault-aware coordinator fan-out: the drop-in replacement for
+/// [`crate::simulate_parallel`] on the query path.
+///
+/// `serve` produces shard `idx`'s raw response payload (the worker
+/// compute); the dispatcher seals it in the checksummed envelope,
+/// injects any planned fault, verifies the envelope, and hands the
+/// payload to `parse`. A shard whose attempts are exhausted (or whose
+/// deadline is spent) yields `None` and the caller degrades.
+///
+/// `shard_base` offsets the plan's shard address space, so several
+/// services can share one plan (the ranking shards take `0..W`, the
+/// URL server `W`).
+///
+/// Timing is virtual (see the module docs) and deterministic in the
+/// plan wherever fault delays are expressed as fixed `extra` delays.
+pub fn dispatch_faulty<T, R>(
+    shards: &[T],
+    shard_base: usize,
+    plan: &FaultPlan,
+    policy: &FaultPolicy,
+    mut serve: impl FnMut(usize, &T) -> Vec<u8>,
+    mut parse: impl FnMut(usize, &[u8]) -> Result<R, WireError>,
+) -> (Vec<Option<R>>, FaultReport) {
+    policy.validate();
+    let mut report = FaultReport::default();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(shards.len());
+    let mut cpu_total = Duration::ZERO;
+    let mut wall_max = Duration::ZERO;
+
+    for (idx, shard) in shards.iter().enumerate() {
+        let mut shard_wall = Duration::ZERO;
+        let mut shard_cpu = Duration::ZERO;
+        let mut attempts = 0u32;
+        let mut hedged = false;
+        let mut value: Option<R> = None;
+
+        while attempts <= policy.max_retries {
+            if attempts > 0 {
+                report.retries += 1;
+                shard_wall += policy.backoff.saturating_mul(1u32 << (attempts - 1).min(10));
+            }
+            if shard_wall >= policy.deadline {
+                break;
+            }
+
+            // Primary attempt.
+            let (primary, cpu) =
+                run_attempt(idx, shard, attempts, shard_base, plan, policy, &mut serve, &mut parse);
+            shard_cpu += cpu;
+            let primary_fail_at = match &primary {
+                Delivery::Ok { .. } => None,
+                Delivery::TimedOut => Some(policy.attempt_timeout),
+                Delivery::Bad { at, .. } => Some(*at),
+            };
+            let mut best: Option<(R, Duration)> = None;
+            match primary {
+                Delivery::Ok { value: v, at } => best = Some((v, at)),
+                Delivery::TimedOut => report.timeouts += 1,
+                Delivery::Bad { bytes, .. } => {
+                    report.corrupted += 1;
+                    report.wasted_response_bytes += bytes;
+                }
+            }
+
+            // Hedged backup: launches at `hedge_after` if the primary
+            // has not succeeded by then.
+            let mut hedge_fail_at: Option<Duration> = None;
+            if let Some(h) = policy.hedge_after {
+                let primary_ok_by_h = matches!(&best, Some((_, at)) if *at <= h);
+                if !primary_ok_by_h {
+                    report.hedges += 1;
+                    hedged = true;
+                    let (backup, hcpu) = run_attempt(
+                        idx,
+                        shard,
+                        attempts | HEDGE_FLAG,
+                        shard_base,
+                        plan,
+                        policy,
+                        &mut serve,
+                        &mut parse,
+                    );
+                    shard_cpu += hcpu;
+                    match backup {
+                        Delivery::Ok { value: v, at } => {
+                            let arrival = h + at;
+                            if best.as_ref().map_or(true, |(_, p)| arrival < *p) {
+                                best = Some((v, arrival));
+                            }
+                        }
+                        Delivery::TimedOut => {
+                            report.timeouts += 1;
+                            hedge_fail_at = Some(h + policy.attempt_timeout);
+                        }
+                        Delivery::Bad { at, bytes } => {
+                            report.corrupted += 1;
+                            report.wasted_response_bytes += bytes;
+                            hedge_fail_at = Some(h + at);
+                        }
+                    }
+                }
+            }
+
+            attempts += 1;
+            match best {
+                Some((v, at)) => {
+                    shard_wall += at;
+                    value = Some(v);
+                    break;
+                }
+                None => {
+                    // Both primary and any hedge failed; the
+                    // coordinator notices at the later failure.
+                    let p = primary_fail_at.unwrap_or(policy.attempt_timeout);
+                    shard_wall += hedge_fail_at.map_or(p, |hf| p.max(hf));
+                }
+            }
+        }
+
+        let ok = value.is_some();
+        report.shards.push(ShardReport { ok, attempts, hedged, wall: shard_wall });
+        results.push(value);
+        cpu_total += shard_cpu;
+        wall_max = wall_max.max(shard_wall);
+    }
+
+    report.timing = ParallelTiming { wall: wall_max, cpu: cpu_total };
+    (results, report)
+}
+
+/// Dynamic view of the caller's payload parser, passed down to the
+/// delivery closure.
+type ParseFn<'a, R> = &'a mut dyn FnMut(usize, &[u8]) -> Result<R, WireError>;
+
+/// Executes one attempt (identified by its plan address) in virtual
+/// time; returns the delivery outcome and the real CPU spent.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt<T, R>(
+    idx: usize,
+    shard: &T,
+    attempt_no: u32,
+    shard_base: usize,
+    plan: &FaultPlan,
+    policy: &FaultPolicy,
+    serve: &mut impl FnMut(usize, &T) -> Vec<u8>,
+    parse: &mut impl FnMut(usize, &[u8]) -> Result<R, WireError>,
+) -> (Delivery<R>, Duration) {
+    let plan_shard = shard_base + idx;
+    let deliver = |payload: Vec<u8>, at: Duration, parse: ParseFn<'_, R>| {
+        let sealed = seal(&payload);
+        let bytes = sealed.len() as u64;
+        match open(&sealed).and_then(|p| parse(idx, p)) {
+            Ok(value) => Delivery::Ok { value, at },
+            Err(_) => Delivery::Bad { at, bytes },
+        }
+    };
+    match plan.fault_for(plan_shard, attempt_no) {
+        Some(FaultKind::Crash) => (Delivery::TimedOut, Duration::ZERO),
+        Some(FaultKind::Straggle { factor, extra }) => {
+            let (payload, t) = timed(|| serve(idx, shard));
+            let virtual_t = t.mul_f64(factor.max(0.0)) + extra;
+            if virtual_t > policy.attempt_timeout {
+                (Delivery::TimedOut, t)
+            } else {
+                (deliver(payload, virtual_t, parse), t)
+            }
+        }
+        Some(FaultKind::Corrupt) => {
+            let (payload, t) = timed(|| serve(idx, shard));
+            let mut sealed = seal(&payload);
+            corrupt_in_place(&mut sealed, plan.seed(), plan_shard, attempt_no);
+            let bytes = sealed.len() as u64;
+            let outcome = match open(&sealed).and_then(|p| parse(idx, p)) {
+                Ok(value) => Delivery::Ok { value, at: t },
+                Err(_) => Delivery::Bad { at: t, bytes },
+            };
+            (outcome, t)
+        }
+        Some(FaultKind::Truncate) => {
+            let (payload, t) = timed(|| serve(idx, shard));
+            let sealed = seal(&payload);
+            let cut = &sealed[..sealed.len() / 2];
+            let bytes = cut.len() as u64;
+            let outcome = match open(cut).and_then(|p| parse(idx, p)) {
+                Ok(value) => Delivery::Ok { value, at: t },
+                Err(_) => Delivery::Bad { at: t, bytes },
+            };
+            (outcome, t)
+        }
+        None => {
+            let (payload, t) = timed(|| serve(idx, shard));
+            if t > policy.attempt_timeout {
+                (Delivery::TimedOut, t)
+            } else {
+                (deliver(payload, t, parse), t)
+            }
+        }
+    }
+}
+
+/// Deterministically flips one payload byte of a sealed response (the
+/// envelope checksum is guaranteed to catch a single-byte change).
+fn corrupt_in_place(sealed: &mut [u8], seed: u64, shard: usize, attempt: u32) {
+    let draw = unit_draw(seed ^ 0xc0de, shard as u64, attempt as u64);
+    if sealed.len() > ENVELOPE_OVERHEAD {
+        let span = sealed.len() - ENVELOPE_OVERHEAD;
+        let pos = ENVELOPE_OVERHEAD + ((draw * span as f64) as usize).min(span - 1);
+        sealed[pos] ^= 0xa5;
+    } else if let Some(b) = sealed.last_mut() {
+        *b ^= 0xa5;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_shards(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    fn serve_ok(_: usize, s: &u64) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(*s * 10);
+        w.finish()
+    }
+
+    fn parse_ok(_: usize, p: &[u8]) -> Result<u64, WireError> {
+        let mut r = WireReader::new(p);
+        let v = r.get_u64()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_detects_tampering() {
+        let payload = b"ranking shard answer".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(sealed.len(), payload.len() + ENVELOPE_OVERHEAD);
+        assert_eq!(open(&sealed).expect("opens"), &payload[..]);
+        // Any single-byte flip in the payload is detected.
+        for pos in ENVELOPE_OVERHEAD..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[pos] ^= 0x01;
+            assert!(open(&bad).is_err(), "flip at {pos} not detected");
+        }
+        // Truncation at every length is detected.
+        for cut in 0..sealed.len() {
+            assert!(open(&sealed[..cut]).is_err(), "cut at {cut} not detected");
+        }
+        // Oversize declared length is rejected without allocating.
+        let mut w = WireWriter::new();
+        w.put_u32(ENVELOPE_MAGIC);
+        w.put_u32(u32::MAX);
+        w.put_u64(0);
+        assert!(open(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn benign_plan_dispatch_answers_every_shard() {
+        let shards = echo_shards(4);
+        let (results, report) = dispatch_faulty(
+            &shards,
+            0,
+            &FaultPlan::none(),
+            &FaultPolicy::tolerant(),
+            serve_ok,
+            parse_ok,
+        );
+        assert_eq!(results, vec![Some(0), Some(10), Some(20), Some(30)]);
+        assert!(report.all_ok());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.corrupted, 0);
+        assert!(report.timing.cpu >= report.timing.wall);
+    }
+
+    #[test]
+    fn crashed_shard_fails_with_timeout_accounting() {
+        let shards = echo_shards(3);
+        let plan = FaultPlan::none().crash_shard(1);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(results[0], Some(0));
+        assert_eq!(results[1], None);
+        assert_eq!(results[2], Some(20));
+        assert_eq!(report.failed_shards(), vec![1]);
+        // 3 attempts, each waiting out the full timeout, plus backoff.
+        let s = &report.shards[1];
+        assert_eq!(s.attempts, policy.max_retries + 1);
+        assert!(s.wall >= policy.attempt_timeout.saturating_mul(policy.max_retries + 1));
+        assert_eq!(report.timeouts, policy.max_retries + 1);
+        assert!(report.timing.wall >= s.wall);
+    }
+
+    #[test]
+    fn flaky_shard_recovers_after_retries() {
+        let shards = echo_shards(2);
+        let plan = FaultPlan::none().flaky_then_recover(0, 2);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(results, vec![Some(0), Some(10)]);
+        assert!(report.all_ok());
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.shards[0].attempts, 3);
+        // Two timeouts plus exponential backoff are on the shard wall.
+        let floor = policy.attempt_timeout.saturating_mul(2) + policy.backoff.saturating_mul(3);
+        assert!(report.shards[0].wall >= floor, "{:?} < {floor:?}", report.shards[0].wall);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_responses_fail_into_retry() {
+        let shards = echo_shards(2);
+        for kind in [FaultKind::Corrupt, FaultKind::Truncate] {
+            let plan = FaultPlan::none().with_fault(1, 0, kind);
+            let mut policy = FaultPolicy::tolerant();
+            policy.hedge_after = None;
+            let (results, report) =
+                dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+            assert_eq!(results, vec![Some(0), Some(10)], "{kind:?}");
+            assert_eq!(report.corrupted, 1, "{kind:?}");
+            assert_eq!(report.retries, 1, "{kind:?}");
+            assert!(report.wasted_response_bytes > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn hedge_beats_deterministic_straggler() {
+        let shards = echo_shards(3);
+        // Shard 2 straggles by a fixed 10 s — far beyond the timeout —
+        // so the primary is abandoned and the hedge (healthy) wins.
+        let plan = FaultPlan::none().straggle_shard(2, 1.0, Duration::from_secs(10));
+        let policy = FaultPolicy::tolerant();
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        // The sticky straggler also delays the hedge, which still
+        // arrives... no: sticky applies to every attempt, so the hedge
+        // straggles too and the shard exhausts its attempts.
+        assert_eq!(results[2], None);
+        assert!(report.hedges >= 1);
+        assert!(report.shards[2].hedged);
+
+        // A one-shot straggler instead: the hedge is healthy and the
+        // shard completes near hedge_after, well under the deadline.
+        let plan = FaultPlan::none().with_fault(
+            2,
+            0,
+            FaultKind::Straggle { factor: 10.0, extra: Duration::from_secs(10) },
+        );
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(results[2], Some(20));
+        assert!(report.shards[2].ok);
+        assert_eq!(report.shards[2].attempts, 1, "hedge consumed no retry");
+        assert!(report.hedges >= 1);
+        let h = policy.hedge_after.expect("hedging on");
+        assert!(report.shards[2].wall >= h);
+        assert!(report.shards[2].wall < policy.attempt_timeout + h);
+        assert!(report.timing.wall < policy.deadline);
+    }
+
+    #[test]
+    fn slow_straggler_within_timeout_just_arrives_late() {
+        let shards = echo_shards(2);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        // 60 ms fixed virtual delay < 250 ms timeout: arrives, verified.
+        let plan = FaultPlan::none().straggle_shard(0, 1.0, Duration::from_millis(60));
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(results, vec![Some(0), Some(10)]);
+        assert!(report.all_ok());
+        assert!(report.shards[0].wall >= Duration::from_millis(60));
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn rates_are_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::from_rates(7, FaultRates::mixed(0.4));
+        let a: Vec<_> = (0..64).map(|s| plan.fault_for(s, 0)).collect();
+        let b: Vec<_> = (0..64).map(|s| plan.fault_for(s, 0)).collect();
+        assert_eq!(a, b, "same plan, same draws");
+        let faults = a.iter().filter(|f| f.is_some()).count();
+        assert!((10..=40).contains(&faults), "fault count {faults} far from 40% of 64");
+        // A different seed reshuffles the schedule.
+        let other = FaultPlan::from_rates(8, FaultRates::mixed(0.4));
+        let c: Vec<_> = (0..64).map(|s| other.fault_for(s, 0)).collect();
+        assert_ne!(a, c);
+        // Zero rates are benign; forced faults are not.
+        assert!(FaultPlan::from_rates(7, FaultRates::mixed(0.0)).is_benign());
+        assert!(!FaultPlan::none().crash_shard(0).is_benign());
+    }
+
+    #[test]
+    fn shard_base_offsets_the_plan_address_space() {
+        let shards = echo_shards(1);
+        let plan = FaultPlan::none().crash_shard(5);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let (hit, _) = dispatch_faulty(&shards, 5, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(hit, vec![None]);
+        let (miss, _) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(miss, vec![Some(0)]);
+    }
+
+    #[test]
+    fn deadline_caps_retry_spending() {
+        let shards = echo_shards(1);
+        let plan = FaultPlan::none().crash_shard(0);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        policy.max_retries = 100;
+        policy.deadline = Duration::from_millis(600);
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        assert_eq!(results, vec![None]);
+        // 600 ms budget / 250 ms timeouts: at most 3 attempts launch.
+        assert!(report.shards[0].attempts <= 3, "{}", report.shards[0].attempts);
+        assert!(report.shards[0].wall < Duration::from_millis(1200));
+    }
+
+    #[test]
+    fn policy_validation_rejects_nonsense() {
+        let mut p = FaultPolicy::tolerant();
+        p.attempt_timeout = Duration::ZERO;
+        assert!(std::panic::catch_unwind(move || p.validate()).is_err());
+        let mut p = FaultPolicy::tolerant();
+        p.deadline = Duration::from_millis(1);
+        assert!(std::panic::catch_unwind(move || p.validate()).is_err());
+        let mut p = FaultPolicy::tolerant();
+        p.hedge_after = Some(p.attempt_timeout);
+        assert!(std::panic::catch_unwind(move || p.validate()).is_err());
+    }
+}

@@ -20,8 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod pool;
 
+pub use fault::{
+    dispatch_faulty, open, seal, FaultKind, FaultPlan, FaultPolicy, FaultRates, FaultReport,
+    ShardReport,
+};
 pub use pool::WorkerPool;
 
 use std::sync::Mutex;

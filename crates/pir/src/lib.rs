@@ -25,6 +25,7 @@ pub mod packing;
 use rand::Rng;
 use tiptoe_lwe::{scheme, LweCiphertext, LweParams, MatrixA};
 use tiptoe_math::matrix::Mat;
+use tiptoe_math::wire::WireError;
 use tiptoe_underhood::{
     ClientKey, DecodedToken, EncryptedSecret, ExpandedSecret, QueryToken, Underhood,
 };
@@ -232,16 +233,27 @@ impl<'a> PirClient<'a> {
         self.uh.decode_token::<u32>(self.key, token)
     }
 
-    /// Recovers the record bytes from the decrypted answer.
+    /// Recovers the record bytes from the decrypted answer, or a
+    /// [`WireError`] if the answer carries too few entries for the
+    /// database's record length (a truncated or hostile response must
+    /// not panic the client).
     pub fn recover(
         &self,
         db_meta: &PirDatabase,
         token: &mut DecodedToken<u32>,
         answer: &[u32],
-    ) -> Vec<u8> {
+    ) -> Result<Vec<u8>, WireError> {
+        if answer.len() != token.rows() {
+            return Err(WireError::Invalid("PIR answer length differs from the token rows"));
+        }
         let entries = self.uh.decrypt(token, answer);
-        db_meta.packer.unpack(&entries.iter().map(|&e| e as u32).collect::<Vec<_>>(),
-                             db_meta.record_bytes)
+        db_meta
+            .packer
+            .try_unpack(
+                &entries.iter().map(|&e| e as u32).collect::<Vec<_>>(),
+                db_meta.record_bytes,
+            )
+            .ok_or(WireError::Invalid("PIR answer too short for the record length"))
     }
 }
 
@@ -281,7 +293,7 @@ mod tests {
         let target = 17;
         let ct = client.query(&server.public_matrix(), server.database().num_records(), target, &mut rng);
         let answer = server.answer(&ct);
-        let got = client.recover(server.database(), &mut decoded, &answer);
+        let got = client.recover(server.database(), &mut decoded, &answer).expect("full answer");
         assert_eq!(got, recs[target]);
     }
 
@@ -327,7 +339,10 @@ mod tests {
             let mut decoded = client.decode_token(&token);
             let ct = client.query(&server.public_matrix(), recs.len(), target, &mut rng);
             let answer = server.answer(&ct);
-            assert_eq!(client.recover(server.database(), &mut decoded, &answer), recs[target]);
+            assert_eq!(
+                client.recover(server.database(), &mut decoded, &answer).expect("full answer"),
+                recs[target]
+            );
         }
     }
 
@@ -347,7 +362,7 @@ mod tests {
         let mut decoded = client.decode_token(&token);
         let ct = client.query(&server.public_matrix(), recs.len(), 2, &mut rng);
         let answer = server.answer(&ct);
-        let got = client.recover(server.database(), &mut decoded, &answer);
+        let got = client.recover(server.database(), &mut decoded, &answer).expect("full answer");
         assert_eq!(&got[..11], &recs[2][..]);
         assert!(got[11..].iter().all(|&b| b == 0), "padding must be zeros");
     }

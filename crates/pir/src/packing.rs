@@ -65,6 +65,15 @@ impl BitPacker {
         out
     }
 
+    /// Unpacks entries back into `len` bytes, or `None` if `entries`
+    /// is too short (e.g. a truncated PIR answer).
+    pub fn try_unpack(&self, entries: &[u32], len: usize) -> Option<Vec<u8>> {
+        if entries.len() < self.entries_for(len) {
+            return None;
+        }
+        Some(self.unpack_unchecked(entries, len))
+    }
+
     /// Unpacks entries back into `len` bytes.
     ///
     /// # Panics
@@ -77,6 +86,10 @@ impl BitPacker {
             entries.len(),
             len
         );
+        self.unpack_unchecked(entries, len)
+    }
+
+    fn unpack_unchecked(&self, entries: &[u32], len: usize) -> Vec<u8> {
         let bits = self.bits_per_entry as usize;
         let mut out = vec![0u8; len];
         for (i, &e) in entries.iter().enumerate() {

@@ -439,7 +439,9 @@ impl Underhood {
         let n_ring = self.ctx.params().degree;
         let kept = self.lwe.log_q - self.kappa;
         let kept_mask: u128 = if kept >= 128 { u128::MAX } else { (1u128 << kept) - 1 };
-        let mut hs = Vec::with_capacity(token.rows);
+        // Allocation bounded by the material actually present, not the
+        // (possibly hostile) declared row count.
+        let mut hs = Vec::with_capacity(token.rows.min(token.chunks.len() * n_ring));
         for chunk in &token.chunks {
             let limb_values: Vec<Vec<i64>> = chunk
                 .iter()
@@ -547,6 +549,12 @@ impl QueryToken {
         if chunk_count > (1 << 16) || limb_count > 8 {
             return Err(WireError::Invalid("token layout out of range"));
         }
+        // Each chunk covers at most one ring degree of hint rows, so a
+        // declared row count beyond chunks · 2^16 cannot be honest;
+        // rejecting it here bounds the decode-side allocation.
+        if rows > chunk_count.saturating_mul(1 << 16) {
+            return Err(WireError::Invalid("token row count exceeds chunk capacity"));
+        }
         let mut chunks = Vec::with_capacity(chunk_count);
         for _ in 0..chunk_count {
             let mut per_limb = Vec::with_capacity(limb_count);
@@ -632,6 +640,44 @@ pub fn combine_partial_tokens(uh: &Underhood, parts: &[QueryToken]) -> QueryToke
         out.push(per_limb);
     }
     QueryToken { chunks: out, rows }
+}
+
+/// Combines *decoded* per-shard tokens over a survivor subset: the
+/// degraded-mode counterpart of [`combine_partial_tokens`].
+///
+/// With a vertically sharded hint `H = Σ_w H_w`, each shard's token
+/// decodes to `H_w·s` (plus its bounded drop error), and any subset
+/// sums to the `H·s` restricted to the shards that answered — so a
+/// client holding per-shard tokens can decrypt exactly over whichever
+/// shards survive a fault-degraded query. Consumes the included parts
+/// (they share the single-use inner secret).
+///
+/// # Panics
+///
+/// Panics if the mask length differs from `parts`, no shard is
+/// included, an included part was already used, or row counts differ.
+pub fn combine_decoded_subset<W: Word>(
+    parts: &mut [DecodedToken<W>],
+    include: &[bool],
+) -> DecodedToken<W> {
+    assert_eq!(parts.len(), include.len(), "survivor mask length mismatch");
+    let mut acc: Option<Vec<W>> = None;
+    for (part, &inc) in parts.iter_mut().zip(include) {
+        if !inc {
+            continue;
+        }
+        let hs = part.take_hs();
+        match &mut acc {
+            None => acc = Some(hs),
+            Some(a) => {
+                assert_eq!(a.len(), hs.len(), "shard token row-count mismatch");
+                for (x, y) in a.iter_mut().zip(hs) {
+                    *x = x.wadd(y);
+                }
+            }
+        }
+    }
+    DecodedToken { hs: Some(acc.expect("no surviving shard token to combine")) }
 }
 
 #[cfg(test)]
@@ -806,6 +852,78 @@ mod tests {
         let applied = apply(&db, &ct);
         let got = uh.decrypt(&mut decoded, &applied);
         assert_eq!(got, matvec_mod_p(&db, &v, p));
+    }
+
+    #[test]
+    fn decoded_subset_combination_decrypts_over_survivors() {
+        // Degraded mode: per-shard tokens, decrypted over a survivor
+        // subset, must yield the exact scores of the surviving columns
+        // (the failed shard's columns contribute zero).
+        let uh = test_underhood_64();
+        let mut rng = seeded_rng(16);
+        let cols = 48;
+        let split = 32;
+        let p = uh.lwe().p;
+        let db = random_db(&mut rng, 8, cols, 16);
+        let a = MatrixA::new(7, cols, uh.lwe().n);
+        let key = ClientKey::generate(&uh, uh.lwe().n, &mut rng);
+        let es = EncryptedSecret::encrypt(&uh, &key, &mut rng);
+
+        let left_db = db.column_slice(0, split);
+        let left = preproc::<u64>(&left_db, &a.row_range(0, split));
+        let right = preproc::<u64>(&db.column_slice(split, cols), &a.row_range(split, cols - split));
+        let t_left = uh.generate_token(&uh.preprocess_hint(&left), &es);
+        let t_right = uh.generate_token(&uh.preprocess_hint(&right), &es);
+        let mut parts =
+            vec![uh.decode_token::<u64>(&key, &t_left), uh.decode_token::<u64>(&key, &t_right)];
+
+        // Only the left shard survives; the query vector is zero on the
+        // failed shard's columns (the client knows which shards died).
+        let mut v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..p)).collect();
+        for x in v.iter_mut().skip(split) {
+            *x = 0;
+        }
+        let ct = uh.encrypt_query::<u64, _>(&key, &a, &v, &mut rng);
+        // The coordinator sums only the surviving shard's answer.
+        let chunk = LweCiphertext { c: ct.c[..split].to_vec() };
+        let applied = apply(&left_db, &chunk);
+        let mut subset = combine_decoded_subset(&mut parts, &[true, false]);
+        let got = uh.decrypt(&mut subset, &applied);
+        assert_eq!(got, matvec_mod_p(&left_db, &v[..split], p));
+        // Included parts are consumed; excluded ones stay fresh.
+        assert!(!parts[0].is_fresh());
+        assert!(parts[1].is_fresh());
+
+        // Both shards surviving must match the combined-token path.
+        let mut all =
+            vec![uh.decode_token::<u64>(&key, &t_left), uh.decode_token::<u64>(&key, &t_right)];
+        let mut both = combine_decoded_subset(&mut all, &[true, true]);
+        let combined = combine_partial_tokens(&uh, &[t_left, t_right]);
+        let mut dec = uh.decode_token::<u64>(&key, &combined);
+        let v2: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..p)).collect();
+        let ct2 = uh.encrypt_query::<u64, _>(&key, &a, &v2, &mut rng);
+        let applied2 = apply(&db, &ct2);
+        assert_eq!(uh.decrypt(&mut both, &applied2), uh.decrypt(&mut dec, &applied2));
+    }
+
+    #[test]
+    fn hostile_token_row_counts_are_rejected() {
+        // A declared row count far beyond the shipped chunks must fail
+        // decode instead of reserving gigabytes in decode_token.
+        let uh = test_underhood_64();
+        let mut rng = seeded_rng(17);
+        let db = random_db(&mut rng, 8, 16, 8);
+        let a = MatrixA::new(5, 16, uh.lwe().n);
+        let key = ClientKey::generate(&uh, uh.lwe().n, &mut rng);
+        let es = EncryptedSecret::encrypt(&uh, &key, &mut rng);
+        let hint = preproc::<u64>(&db, &a.row_range(0, 16));
+        let token = uh.generate_token(&uh.preprocess_hint(&hint), &es);
+        let mut bytes = token.encode();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(QueryToken::decode(&bytes), Err(WireError::Invalid(_))));
+        // The original still roundtrips.
+        let back = QueryToken::decode(&token.encode()).expect("valid token decodes");
+        assert_eq!(back.rows(), token.rows());
     }
 
     #[test]

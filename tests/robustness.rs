@@ -61,13 +61,19 @@ fn garbage_pir_record_fails_to_decode_gracefully() {
     let _ct = client.query(&server.public_matrix(), 8, 3, &mut rng);
     // The server answers with random words of the right length.
     let forged: Vec<u32> = (0..server.database().rows()).map(|_| rng.gen()).collect();
-    let bytes = client.recover(server.database(), &mut decoded, &forged);
+    let bytes =
+        client.recover(server.database(), &mut decoded, &forged).expect("right-length answer");
     // Recovered garbage; decoding it as a URL batch must error (or
     // yield nothing), never panic.
     let decoded_batch = CompressedUrlBatch::decode_payload(&bytes);
     if let Ok(entries) = decoded_batch {
         assert!(entries.len() <= records.len() * 4, "bounded output from garbage");
     }
+
+    // A *truncated* answer must surface as an error, not a panic.
+    let short = &forged[..forged.len() / 2];
+    let mut decoded2 = client.decode_token(&server.generate_token(&es));
+    assert!(client.recover(server.database(), &mut decoded2, short).is_err());
 }
 
 #[test]
