@@ -57,6 +57,7 @@ fn to_ir_hits(hits: &[tiptoe_core::client::RankedUrl]) -> Vec<SearchHit> {
 }
 
 fn main() {
+    tiptoe_obs::init_from_env();
     let docs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(240);
     let queries: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(20);
     println!("== bench_faults: latency/quality vs injected fault rate ==");

@@ -13,7 +13,6 @@
 //! per-variant repetition count.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use rand::Rng;
 use tiptoe_lwe::{scheme, MatrixA};
@@ -37,13 +36,15 @@ fn reps() -> usize {
 }
 
 /// Median-of-`reps` seconds for one run of `f` (after one warmup).
+/// Each measured rep is an obs span, so `TIPTOE_TRACE=…` captures the
+/// per-rep timeline (including the kernels' own `lwe.*` child spans).
 fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     std::hint::black_box(f());
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            t0.elapsed().as_secs_f64()
+            let (out, wall) = tiptoe_obs::timed_span("bench.rep", &mut f);
+            std::hint::black_box(out);
+            wall.as_secs_f64()
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -60,6 +61,7 @@ struct Entry {
 }
 
 fn main() {
+    tiptoe_obs::init_from_env();
     let reps = reps();
     let threads = max_threads();
     let mut entries: Vec<Entry> = Vec::new();
@@ -141,6 +143,8 @@ fn main() {
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(root, &json).expect("write BENCH_kernels.json");
+
+    tiptoe_obs::export::export_query_artifacts();
 
     println!("{json}");
     println!("wrote {root}");

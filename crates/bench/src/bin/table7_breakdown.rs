@@ -15,6 +15,7 @@ use tiptoe_math::stats::{fmt_bytes, fmt_seconds};
 use tiptoe_net::LinkModel;
 
 fn main() {
+    tiptoe_obs::init_from_env();
     let docs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4096);
     println!("== Table 7: Tiptoe cost breakdown (text search) ==\n");
     println!("measuring at {docs} documents with production crypto ...\n");

@@ -89,7 +89,8 @@ pub fn measure_text_deployment(docs: usize, queries: usize, seed: u64) -> Measur
     let corpus = generate(&CorpusConfig::small(docs, seed), queries.max(1));
     let config = TiptoeConfig::text(docs, seed);
     let embedder = TextEmbedder::paper_text(seed);
-    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    let (instance, _) =
+        tiptoe_obs::timed_span("bench.build", || TiptoeInstance::build(&config, embedder, &corpus));
     measure_instance(docs, &corpus, instance, queries)
 }
 
@@ -116,7 +117,9 @@ pub fn measure_image_deployment(docs: usize, queries: usize, seed: u64) -> Measu
     }
     let corpus = Corpus { docs: image_docs, queries: text_corpus.queries };
     let config = TiptoeConfig::image(docs, seed);
-    let instance = TiptoeInstance::build_with_embeddings(&config, clip, &corpus, latents);
+    let (instance, _) = tiptoe_obs::timed_span("bench.build", || {
+        TiptoeInstance::build_with_embeddings(&config, clip, &corpus, latents)
+    });
     measure_instance(docs, &corpus, instance, queries)
 }
 
@@ -129,7 +132,8 @@ fn measure_instance<E: Embedder + Send + Sync>(
     let mut client = instance.new_client(1);
     let mut costs = Vec::new();
     for q in corpus.queries.iter().take(queries.max(1)) {
-        let results = client.search(&instance, &q.text, 100);
+        let (results, _) =
+            tiptoe_obs::timed_span("bench.query", || client.search(&instance, &q.text, 100));
         costs.push(results.cost);
     }
     let cost = average_costs(&costs);

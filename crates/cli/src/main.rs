@@ -3,12 +3,18 @@
 //! ```text
 //! tiptoe demo [NUM_DOCS]            # synthetic corpus + interactive search
 //! tiptoe index FILE [QUERY...]      # index a file of documents, run queries
+//! tiptoe search QUERY...            # synthetic corpus, run queries, exit
 //! ```
 //!
 //! In `index` mode, `FILE` holds one document per line, either
 //! `url<TAB>text` or just `text` (URLs are synthesized). Every query
 //! runs through the full private pipeline: the services only ever see
 //! lattice ciphertexts.
+//!
+//! Set `TIPTOE_TRACE=trace.json` to capture a per-query span trace
+//! (Chrome `trace_event` JSON plus sibling `.metrics.json` and
+//! `.folded` files); `search` is the non-interactive mode meant for
+//! exactly that kind of scripted capture.
 
 use std::io::{BufRead, Write};
 
@@ -23,6 +29,7 @@ fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  tiptoe demo [NUM_DOCS]        synthetic corpus, interactive prompt");
     eprintln!("  tiptoe index FILE [QUERY...]  index 'url<TAB>text' lines, run queries");
+    eprintln!("  tiptoe search QUERY...        synthetic corpus, run queries, exit");
     std::process::exit(2);
 }
 
@@ -105,6 +112,7 @@ fn interactive(instance: &TiptoeInstance<TextEmbedder>) {
 }
 
 fn main() {
+    tiptoe_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (corpus, label) = match args.first().map(String::as_str) {
         Some("demo") => {
@@ -114,6 +122,9 @@ fn main() {
         Some("index") => {
             let Some(path) = args.get(1) else { usage() };
             (load_file(path), format!("documents from {path}"))
+        }
+        Some("search") if args.len() > 1 => {
+            (generate(&CorpusConfig::small(2000, 7), 0), "2000 synthetic documents".to_owned())
         }
         _ => usage(),
     };
@@ -133,6 +144,12 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("index") if args.len() > 2 => {
             run_queries(&instance, args[2..].iter().cloned());
+        }
+        Some("search") => {
+            run_queries(&instance, std::iter::once(args[1..].join(" ")));
+            if let Some(path) = tiptoe_obs::trace_path() {
+                println!("tiptoe: trace written to {path}");
+            }
         }
         _ => interactive(&instance),
     }

@@ -27,7 +27,7 @@ use tiptoe_embed::quantize::Quantizer;
 use tiptoe_embed::vector::normalize;
 use tiptoe_embed::Embedder;
 use tiptoe_math::rng::{derive_seed, seeded_rng};
-use tiptoe_net::{timed, FaultPlan, FaultReport, LinkModel, ParallelTiming};
+use tiptoe_net::{timed, FaultPlan, FaultReport, LinkModel, ParallelTiming, Phase};
 use tiptoe_pir::PirClient;
 use tiptoe_underhood::{combine_decoded_subset, ClientKey, DecodedToken, EncryptedSecret};
 
@@ -185,7 +185,7 @@ impl TiptoeClient {
     pub fn new<E: Embedder>(instance: &TiptoeInstance<E>, seed: u64) -> Self {
         let meta = instance.artifacts.meta.clone();
         let setup_bytes = meta.setup_download_bytes();
-        instance.transcript.record_down("setup", setup_bytes);
+        instance.transcript.record_down(Phase::Setup, setup_bytes);
         let rng = seeded_rng(derive_seed(seed, 0xc11e27));
         // One inner ternary secret serves both services per token
         // (§A.3); a *fresh* one is sampled per token (§6.3). Its
@@ -211,6 +211,7 @@ impl TiptoeClient {
     /// uploads the encrypted secret once and downloads the ranking and
     /// URL tokens. Returns the cost of the fetch.
     pub fn fetch_token<E: Embedder>(&mut self, instance: &TiptoeInstance<E>) -> QueryCost {
+        let _span = tiptoe_obs::span("client.token_fetch");
         let mut cost = QueryCost::default();
         let uh_rank = instance.ranking.underhood();
         let uh_url = instance.url.underhood();
@@ -224,7 +225,7 @@ impl TiptoeClient {
             (key, es)
         });
         cost.token_up = es.byte_len();
-        instance.transcript.record_up("token", cost.token_up);
+        instance.transcript.record_up(Phase::Token, cost.token_up);
 
         // The server expands the upload once and reuses it for both
         // services (§A.3's shared-secret-key optimization) and for
@@ -247,9 +248,10 @@ impl TiptoeClient {
         cost.token_server = t_rank.then(t_url);
         cost.token_down =
             rank_tokens.iter().map(|t| t.byte_len()).sum::<u64>() + url_token.byte_len();
-        instance.transcript.record_down("token", cost.token_down);
+        instance.transcript.record_down(Phase::Token, cost.token_down);
 
         let (decoded, t_decode) = timed(|| {
+            let _span = tiptoe_obs::span("client.token_decrypt");
             let rank = if fault_tolerant {
                 RankTokens::PerShard(
                     rank_tokens.iter().map(|t| uh_rank.decode_token::<u64>(&key, t)).collect(),
@@ -358,7 +360,31 @@ impl TiptoeClient {
 
     /// One protocol round, optionally forcing the searched cluster
     /// (used by multi-probe; `None` selects the nearest centroid).
+    ///
+    /// This is also the tracing boundary: when tracing is enabled,
+    /// each round clears the span buffer, runs under a `client.query`
+    /// root span, and exports the Chrome-trace/metrics/folded
+    /// artifacts to the configured path (so the file always holds the
+    /// most recent query).
     fn search_in_cluster<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        force_cluster: Option<usize>,
+        plan: Option<&FaultPlan>,
+    ) -> SearchResults {
+        tiptoe_obs::begin_query();
+        let results = {
+            let _root = tiptoe_obs::span("client.query");
+            self.run_query(instance, query, k, force_cluster, plan)
+        };
+        tiptoe_obs::export::export_query_artifacts();
+        results
+    }
+
+    /// The protocol round proper (see [`Self::search_in_cluster`]).
+    fn run_query<E: Embedder>(
         &mut self,
         instance: &TiptoeInstance<E>,
         query: &str,
@@ -375,11 +401,16 @@ impl TiptoeClient {
 
         // --- Client: embed, reduce, select cluster, encrypt (step 1).
         let ((ct, cluster), t_embed) = timed(|| {
+            let embed_span = tiptoe_obs::span("client.embed");
             let raw = instance.embedder.embed_text(query);
             let mut q = self.pca.project(&raw);
             normalize(&mut q);
-            let cluster =
-                force_cluster.unwrap_or_else(|| nearest_centroid(&self.meta.centroids, &q));
+            drop(embed_span);
+            let cluster = {
+                let _span = tiptoe_obs::span("client.route");
+                force_cluster.unwrap_or_else(|| nearest_centroid(&self.meta.centroids, &q))
+            };
+            let _span = tiptoe_obs::span("client.encrypt");
             let q_zp = self.quant.to_zp(&q);
             let d = self.meta.d;
             let mut v = vec![0u64; self.meta.ranking_upload_dim()];
@@ -395,21 +426,22 @@ impl TiptoeClient {
             (ct, cluster)
         });
         cost.rank_up = ct.byte_len();
-        instance.transcript.record_up("ranking", cost.rank_up);
+        instance.transcript.record_up(Phase::Ranking, cost.rank_up);
 
         // --- Ranking service (step 2).
         let policy = &instance.config.fault_policy;
         let benign = FaultPlan::none();
         let plan = plan.unwrap_or(&benign);
+        let rank_span = tiptoe_obs::span("client.rank_phase");
         let (applied, survivors, mut degraded) = if policy.enabled {
             let da = instance.ranking.answer_with_faults(&ct, plan, policy);
             cost.rank_server = da.report.timing;
             cost.rank_down = (da.scores.len() * 8) as u64;
-            instance.transcript.record_down("ranking", cost.rank_down);
+            instance.transcript.record_down(Phase::Ranking, cost.rank_down);
             if da.report.wasted_response_bytes > 0 {
                 instance
                     .transcript
-                    .record_down("ranking-retries", da.report.wasted_response_bytes);
+                    .record_down(Phase::RankingRetries, da.report.wasted_response_bytes);
             }
             let dq = DegradedQuery {
                 searched_cluster_missing: da.missing_clusters.contains(&cluster),
@@ -423,14 +455,16 @@ impl TiptoeClient {
             let (applied, rank_timing) = instance.ranking.answer(&ct);
             cost.rank_server = rank_timing;
             cost.rank_down = (applied.len() * 8) as u64;
-            instance.transcript.record_down("ranking", cost.rank_down);
+            instance.transcript.record_down(Phase::Ranking, cost.rank_down);
             (applied, Vec::new(), None)
         };
+        drop(rank_span);
 
         // --- Client: decrypt scores, pick the best member. On the
         // degraded path the per-shard tokens of the *surviving* shards
         // are summed; if no shard answered, every score is zero.
         let ((scores, best_row), t_rankdec) = timed(|| {
+            let _span = tiptoe_obs::span("client.rank_decrypt");
             let uh_rank = instance.ranking.underhood();
             let raw = match &mut prepared.rank {
                 RankTokens::Combined(token) => uh_rank.decrypt(token, &applied),
@@ -459,6 +493,7 @@ impl TiptoeClient {
         });
 
         // --- URL service (step 3): fetch the batch of the best member.
+        let url_span = tiptoe_obs::span("client.url_phase");
         let batch_idx = self.meta.batch_of(cluster, best_row);
         let uh_url = instance.url.underhood();
         let pir_client = PirClient::new(uh_url, &prepared.key);
@@ -471,7 +506,7 @@ impl TiptoeClient {
             )
         });
         cost.url_up = url_ct.byte_len();
-        instance.transcript.record_up("url", cost.url_up);
+        instance.transcript.record_up(Phase::Url, cost.url_up);
         let answer: Option<Vec<u32>> = if policy.enabled {
             // The URL server shares the plan's address space at index
             // `W`, after the ranking shards.
@@ -481,9 +516,9 @@ impl TiptoeClient {
             // A fixed-size phase regardless of outcome: accounting (and
             // the observable wire footprint) must not depend on faults.
             cost.url_down = (instance.url.database().rows() * 4) as u64;
-            instance.transcript.record_down("url", cost.url_down);
+            instance.transcript.record_down(Phase::Url, cost.url_down);
             if report.wasted_response_bytes > 0 {
-                instance.transcript.record_down("url-retries", report.wasted_response_bytes);
+                instance.transcript.record_down(Phase::UrlRetries, report.wasted_response_bytes);
             }
             if let Some(dq) = degraded.as_mut() {
                 dq.url_failed = answer.is_none();
@@ -494,14 +529,16 @@ impl TiptoeClient {
             let (answer, url_timing) = instance.url.answer(&url_ct);
             cost.url_server = url_timing;
             cost.url_down = (answer.len() * 4) as u64;
-            instance.transcript.record_down("url", cost.url_down);
+            instance.transcript.record_down(Phase::Url, cost.url_down);
             Some(answer)
         };
+        drop(url_span);
 
         // --- Client: recover the record and assemble ranked URLs. A
         // failed URL phase (or a malformed record) degrades to an
         // empty hit list instead of crashing the client.
         let (hits, t_recover) = timed(|| {
+            let _span = tiptoe_obs::span("client.recover");
             let Some(answer) = answer else { return Vec::new() };
             let Ok(record) =
                 pir_client.recover(instance.url.database(), &mut prepared.url, &answer)
@@ -660,8 +697,8 @@ mod tests {
         assert!(c.perceived_latency(&link) >= Duration::from_millis(100), "two RTTs minimum");
         // The transcript saw the same phases.
         use tiptoe_net::Direction;
-        assert_eq!(instance.transcript.phase_total("ranking", Direction::Upload), c.rank_up);
-        assert_eq!(instance.transcript.phase_total("url", Direction::Download), c.url_down);
+        assert_eq!(instance.transcript.phase_total(Phase::Ranking, Direction::Upload), c.rank_up);
+        assert_eq!(instance.transcript.phase_total(Phase::Url, Direction::Download), c.url_down);
     }
 
     #[test]

@@ -67,6 +67,12 @@ pub struct TiptoeConfig {
     /// enabled, clients fetch per-shard ranking tokens so they can
     /// decrypt over any surviving subset of shards (degraded mode).
     pub fault_policy: FaultPolicy,
+    /// When set, enables span tracing and exports per-query trace
+    /// artifacts (Chrome trace, metrics snapshot, folded stacks) to
+    /// this path — the programmatic twin of the `TIPTOE_TRACE`
+    /// environment variable. `None` (the default) leaves tracing off:
+    /// one atomic load per would-be span.
+    pub trace_path: Option<String>,
     /// Master seed (all internal randomness derives from it).
     pub seed: u64,
 }
@@ -93,6 +99,7 @@ impl TiptoeConfig {
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
+            trace_path: None,
             seed,
         }
     }
@@ -115,6 +122,7 @@ impl TiptoeConfig {
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
+            trace_path: None,
             seed,
         }
     }
@@ -145,6 +153,7 @@ impl TiptoeConfig {
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
+            trace_path: None,
             seed,
         }
     }

@@ -30,6 +30,19 @@ use tiptoe_underhood::{ClientKey, EncryptedSecret, Underhood};
 
 use crate::config::TiptoeConfig;
 
+/// Records a deployment's analytic noise-budget headroom as the gauge
+/// `rlwe.noise_budget_bits[label]`: `log2(Δ/2) − log2(B_total(m))`
+/// where `B_total` is the composed scheme's total noise bound at
+/// upload dimension `m`. Positive bits = headroom before decryption
+/// rounds incorrectly; the build-time asserts require > 0, and the
+/// gauge makes the margin visible in every metrics snapshot.
+pub fn record_noise_budget_gauge(label: &'static str, uh: &Underhood, m: usize) {
+    let delta_half = uh.lwe().delta() as f64 / 2.0;
+    let bound = uh.total_noise_bound(m).max(f64::MIN_POSITIVE);
+    let bits = delta_half.log2() - bound.log2();
+    tiptoe_obs::metrics().gauge_with("rlwe.noise_budget_bits", Some(label.into())).set(bits);
+}
+
 /// XORs `data` with the ChaCha keystream for `(key, record)`. The
 /// per-record nonce (the record index) keeps streams independent.
 fn stream_cipher(key: u64, record: u64, data: &mut [u8]) {
@@ -105,6 +118,7 @@ pub fn build_encrypted_index(
     }
 
     let uh = Underhood::with_outer(config.url_lwe, config.rlwe, config.switch_log_q2);
+    record_noise_budget_gauge("encrypted-index", &uh, records.len());
     let db = PirDatabase::build_with_params(&records, config.url_lwe);
     let server = PirServer::new(db, derive_seed(config.seed, 0xe7c), uh);
 

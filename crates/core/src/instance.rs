@@ -59,6 +59,12 @@ impl<E: Embedder> TiptoeInstance<E> {
     }
 
     fn from_artifacts(config: &TiptoeConfig, embedder: E, mut artifacts: IndexArtifacts) -> Self {
+        // Observability: `TIPTOE_TRACE=…` enables tracing with no code
+        // change; an explicit config knob overrides the ambient env.
+        tiptoe_obs::init_from_env();
+        if let Some(path) = &config.trace_path {
+            tiptoe_obs::enable_with_path(path.clone());
+        }
         let ranking = RankingService::build(config, &artifacts);
         let url = UrlService::build(config, &artifacts);
         artifacts.report.crypto = ranking.preproc_time + url.preproc_time;

@@ -27,6 +27,16 @@ use tiptoe_underhood::{
 use crate::batch::IndexArtifacts;
 use crate::config::{Parallelism, TiptoeConfig};
 
+/// A per-shard span labeled with the shard index (label formatting is
+/// skipped entirely when tracing is off).
+fn shard_span(name: &'static str, idx: usize) -> tiptoe_obs::Span {
+    let mut span = tiptoe_obs::span(name);
+    if tiptoe_obs::enabled() {
+        span.set_label(format!("{idx}"));
+    }
+    span
+}
+
 /// One shard's database: plain `Z_p` residues or packed signed
 /// nibbles (8× smaller; power-of-two `p` only).
 enum ShardDb {
@@ -125,6 +135,7 @@ impl RankingService {
             uh.supports_upload_dim(m),
             "upload dimension {m} exceeds the noise budget of the ranking parameters"
         );
+        crate::encrypted::record_noise_budget_gauge("ranking", &uh, m);
 
         let t0 = Instant::now();
         // Vertical partition on cluster boundaries: shard w covers a
@@ -290,7 +301,10 @@ impl RankingService {
         // units fan out across threads; the token is bit-identical to
         // the sequential evaluation.
         let threads = self.parallelism.num_threads;
+        let mut idx = 0usize;
         let (parts, timing) = simulate_parallel(&self.shards, |shard| {
+            let _span = shard_span("rank.token_shard", idx);
+            idx += 1;
             self.uh.generate_token_expanded_par(&shard.server_hint, es, threads)
         });
         let combined = combine_partial_tokens(&self.uh, &parts);
@@ -307,7 +321,10 @@ impl RankingService {
         es: &ExpandedSecret,
     ) -> (Vec<QueryToken>, ParallelTiming) {
         let threads = self.parallelism.num_threads;
+        let mut idx = 0usize;
         simulate_parallel(&self.shards, |shard| {
+            let _span = shard_span("rank.token_shard", idx);
+            idx += 1;
             self.uh.generate_token_expanded_par(&shard.server_hint, es, threads)
         })
     }
@@ -376,7 +393,13 @@ impl RankingService {
     /// Panics if the ciphertext dimension differs from `d·C`.
     pub fn answer(&self, ct: &LweCiphertext<u64>) -> (Vec<u64>, ParallelTiming) {
         assert_eq!(ct.c.len(), self.cols, "ciphertext dimension mismatch");
+        let _outer = tiptoe_obs::span("rank.answer");
+        let mut idx = 0usize;
         let (parts, timing) = simulate_parallel(&self.shards, |shard| {
+            // simulate_parallel runs shards one at a time, so per-shard
+            // spans stay sequential and the tree is deterministic.
+            let _span = shard_span("rank.shard", idx);
+            idx += 1;
             let chunk = LweCiphertext {
                 c: ct.c[shard.col_start..shard.col_start + shard.db.cols()].to_vec(),
             };
@@ -412,6 +435,7 @@ impl RankingService {
         policy: &FaultPolicy,
     ) -> DegradedAnswer {
         assert_eq!(ct.c.len(), self.cols, "ciphertext dimension mismatch");
+        let _outer = tiptoe_obs::span("rank.answer");
         let rows = self.rows;
         let (parts, report) = dispatch_faulty(
             &self.shards,

@@ -70,6 +70,7 @@ impl UrlService {
     /// Panics if the ciphertext dimension differs from the record
     /// count.
     pub fn answer(&self, ct: &LweCiphertext<u32>) -> (Vec<u32>, ParallelTiming) {
+        let _span = tiptoe_obs::span("url.answer");
         let (answer, wall) = timed(|| self.server.answer(ct));
         (answer, ParallelTiming { wall, cpu: wall })
     }
@@ -91,6 +92,7 @@ impl UrlService {
         plan: &FaultPlan,
         policy: &FaultPolicy,
     ) -> (Option<Vec<u32>>, FaultReport) {
+        let _span = tiptoe_obs::span("url.answer");
         let rows = self.server.database().rows();
         let (mut answers, report) = dispatch_faulty(
             std::slice::from_ref(&self.server),

@@ -24,6 +24,17 @@ use tiptoe_math::zq::Word;
 use crate::matrix_a::{MatrixA, MatrixARange};
 use crate::params::LweParams;
 
+/// Opens a tracing span at kernel granularity (one span per `Apply`
+/// or `Preproc` call, never per row) carrying the database shape.
+/// Worker threads inside `par_spans_mut` open no spans of their own,
+/// so the span tree is identical at any thread count.
+fn kernel_span(name: &'static str, rows: usize, cols: usize) -> tiptoe_obs::Span {
+    let mut s = tiptoe_obs::span(name);
+    s.attr_u64("rows", rows as u64);
+    s.attr_u64("cols", cols as u64);
+    s
+}
+
 /// A ternary LWE secret key embedded into `Z_q`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LweSecretKey<W: Word> {
@@ -156,6 +167,7 @@ pub fn encrypt<W: Word, R: Rng + ?Sized>(
 /// Panics if `db.cols() != a.rows()`.
 pub fn preproc<W: Word>(db: &Mat<u32>, a: &MatrixARange) -> Mat<W> {
     assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let _span = kernel_span("lwe.preproc", db.rows(), db.cols());
     let ell = db.rows();
     let n = a.cols();
     let mut hint: Mat<W> = Mat::zeros(ell, n);
@@ -183,6 +195,7 @@ pub fn preproc<W: Word>(db: &Mat<u32>, a: &MatrixARange) -> Mat<W> {
 ///
 /// Panics if `ct.c.len() != db.cols()`.
 pub fn apply<W: Word>(db: &Mat<u32>, ct: &LweCiphertext<W>) -> Vec<W> {
+    let _span = kernel_span("lwe.matvec", db.rows(), db.cols());
     matvec(db, &ct.c)
 }
 
@@ -193,6 +206,7 @@ pub fn apply<W: Word>(db: &Mat<u32>, ct: &LweCiphertext<W>) -> Vec<W> {
 ///
 /// Panics if `ct.c.len() != db.cols()`.
 pub fn apply_par<W: Word>(db: &Mat<u32>, ct: &LweCiphertext<W>, num_threads: usize) -> Vec<W> {
+    let _span = kernel_span("lwe.matvec", db.rows(), db.cols());
     tiptoe_math::matrix::matvec_par(db, &ct.c, num_threads)
 }
 
@@ -209,6 +223,8 @@ pub fn apply_many<W: Word>(
     cts: &[LweCiphertext<W>],
     num_threads: usize,
 ) -> Vec<Vec<W>> {
+    let mut span = kernel_span("lwe.matvec_batch", db.rows(), db.cols());
+    span.attr_u64("batch", cts.len() as u64);
     let vs: Vec<Vec<W>> = cts.iter().map(|ct| ct.c.clone()).collect();
     tiptoe_math::matrix::matvec_batch(db, &vs, num_threads)
 }
@@ -228,6 +244,7 @@ pub fn apply_many<W: Word>(
 /// Panics if `db.cols() != a.rows()`.
 pub fn preproc_par<W: Word>(db: &Mat<u32>, a: &MatrixARange, num_threads: usize) -> Mat<W> {
     assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let _span = kernel_span("lwe.preproc", db.rows(), db.cols());
     let ell = db.rows();
     let n = a.cols();
     let mut hint: Mat<W> = Mat::zeros(ell, n);
@@ -266,6 +283,7 @@ pub fn preproc_par<W: Word>(db: &Mat<u32>, a: &MatrixARange, num_threads: usize)
 /// Panics if `db.cols() != a.rows()`.
 pub fn preproc_packed<W: Word>(db: &NibbleMat, a: &MatrixARange) -> Mat<W> {
     assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let _span = kernel_span("lwe.preproc", db.rows(), db.cols());
     let ell = db.rows();
     let n = a.cols();
     let mut hint: Mat<W> = Mat::zeros(ell, n);
@@ -299,6 +317,7 @@ pub fn preproc_packed_par<W: Word>(
     num_threads: usize,
 ) -> Mat<W> {
     assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let _span = kernel_span("lwe.preproc", db.rows(), db.cols());
     let ell = db.rows();
     let n = a.cols();
     let mut hint: Mat<W> = Mat::zeros(ell, n);
@@ -333,6 +352,7 @@ pub fn preproc_packed_par<W: Word>(
 ///
 /// Panics if `ct.c.len() != db.cols()`.
 pub fn apply_packed<W: Word>(db: &NibbleMat, ct: &LweCiphertext<W>) -> Vec<W> {
+    let _span = kernel_span("lwe.matvec", db.rows(), db.cols());
     db.matvec(&ct.c)
 }
 
@@ -348,6 +368,8 @@ pub fn apply_packed_many<W: Word>(
     cts: &[LweCiphertext<W>],
     num_threads: usize,
 ) -> Vec<Vec<W>> {
+    let mut span = kernel_span("lwe.matvec_batch", db.rows(), db.cols());
+    span.attr_u64("batch", cts.len() as u64);
     let vs: Vec<Vec<W>> = cts.iter().map(|ct| ct.c.clone()).collect();
     db.matvec_batch(&vs, num_threads)
 }

@@ -24,13 +24,72 @@ pub mod fault;
 pub mod pool;
 
 pub use fault::{
-    dispatch_faulty, open, seal, FaultKind, FaultPlan, FaultPolicy, FaultRates, FaultReport,
-    ShardReport,
+    dispatch_faulty, open, seal, shard_response_histogram, FaultKind, FaultPlan, FaultPolicy,
+    FaultRates, FaultReport, ShardReport,
 };
 pub use pool::WorkerPool;
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Canonical protocol phases of the transcript ledger.
+///
+/// Phases used to be free-form `&str`s, so `record_up("ranking")` vs
+/// a `"rank"` typo silently split the ledger; the enum makes the
+/// phase vocabulary a compile-time fact. [`Phase::as_str`] (and the
+/// `Display`/`From` impls) keep the string form for display and JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// One-time client setup (hint download, underhood keys).
+    Setup,
+    /// Per-query underhood token fetch.
+    Token,
+    /// Ranking PIR round.
+    Ranking,
+    /// Extra ranking bytes spent on retried/hedged attempts.
+    RankingRetries,
+    /// URL PIR round.
+    Url,
+    /// Extra URL bytes spent on retried/hedged attempts.
+    UrlRetries,
+}
+
+impl Phase {
+    /// Every phase, in protocol order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Setup,
+        Phase::Token,
+        Phase::Ranking,
+        Phase::RankingRetries,
+        Phase::Url,
+        Phase::UrlRetries,
+    ];
+
+    /// The canonical display name (stable across releases; used in
+    /// JSON artifacts and metric labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::Token => "token",
+            Phase::Ranking => "ranking",
+            Phase::RankingRetries => "ranking-retries",
+            Phase::Url => "url",
+            Phase::UrlRetries => "url-retries",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<Phase> for &'static str {
+    fn from(p: Phase) -> Self {
+        p.as_str()
+    }
+}
 
 /// Transfer direction, from the client's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,9 +101,15 @@ pub enum Direction {
 }
 
 /// A per-phase, per-direction ledger of exact wire bytes.
+///
+/// Each instance keeps its own exact entries (tests assert on them
+/// per-query); every record is additionally mirrored into the global
+/// [`tiptoe_obs::metrics`] registry as `net.bytes_up`/`net.bytes_down`
+/// counters labeled by phase, so the metrics snapshot reproduces the
+/// Table-7-style byte breakdown without a second accounting path.
 #[derive(Debug, Default)]
 pub struct Transcript {
-    entries: Mutex<Vec<(String, Direction, u64)>>,
+    entries: Mutex<Vec<(Phase, Direction, u64)>>,
 }
 
 impl Transcript {
@@ -54,13 +119,15 @@ impl Transcript {
     }
 
     /// Records a client→server message.
-    pub fn record_up(&self, phase: &str, bytes: u64) {
-        self.entries.lock().expect("transcript lock").push((phase.to_owned(), Direction::Upload, bytes));
+    pub fn record_up(&self, phase: Phase, bytes: u64) {
+        self.entries.lock().expect("transcript lock").push((phase, Direction::Upload, bytes));
+        tiptoe_obs::metrics().counter_with("net.bytes_up", Some(phase.as_str().into())).add(bytes);
     }
 
     /// Records a server→client message.
-    pub fn record_down(&self, phase: &str, bytes: u64) {
-        self.entries.lock().expect("transcript lock").push((phase.to_owned(), Direction::Download, bytes));
+    pub fn record_down(&self, phase: Phase, bytes: u64) {
+        self.entries.lock().expect("transcript lock").push((phase, Direction::Download, bytes));
+        tiptoe_obs::metrics().counter_with("net.bytes_down", Some(phase.as_str().into())).add(bytes);
     }
 
     /// Total bytes in one direction across all phases.
@@ -69,22 +136,22 @@ impl Transcript {
     }
 
     /// Bytes for one phase and direction.
-    pub fn phase_total(&self, phase: &str, dir: Direction) -> u64 {
+    pub fn phase_total(&self, phase: Phase, dir: Direction) -> u64 {
         self.entries
             .lock()
             .expect("transcript lock")
             .iter()
-            .filter(|(p, d, _)| p == phase && *d == dir)
+            .filter(|(p, d, _)| *p == phase && *d == dir)
             .map(|(_, _, b)| b)
             .sum()
     }
 
-    /// All phase names, in first-appearance order.
-    pub fn phases(&self) -> Vec<String> {
+    /// All phases with recorded traffic, in first-appearance order.
+    pub fn phases(&self) -> Vec<Phase> {
         let mut seen = Vec::new();
-        for (p, _, _) in self.entries.lock().expect("transcript lock").iter() {
-            if !seen.contains(p) {
-                seen.push(p.clone());
+        for &(p, _, _) in self.entries.lock().expect("transcript lock").iter() {
+            if !seen.contains(&p) {
+                seen.push(p);
             }
         }
         seen
@@ -177,17 +244,28 @@ mod tests {
     #[test]
     fn transcript_accumulates_per_phase() {
         let t = Transcript::new();
-        t.record_up("token", 100);
-        t.record_up("ranking", 50);
-        t.record_down("ranking", 25);
-        t.record_up("ranking", 10);
+        t.record_up(Phase::Token, 100);
+        t.record_up(Phase::Ranking, 50);
+        t.record_down(Phase::Ranking, 25);
+        t.record_up(Phase::Ranking, 10);
         assert_eq!(t.total(Direction::Upload), 160);
         assert_eq!(t.total(Direction::Download), 25);
-        assert_eq!(t.phase_total("ranking", Direction::Upload), 60);
-        assert_eq!(t.phases(), vec!["token".to_owned(), "ranking".to_owned()]);
+        assert_eq!(t.phase_total(Phase::Ranking, Direction::Upload), 60);
+        assert_eq!(t.phases(), vec![Phase::Token, Phase::Ranking]);
         assert_eq!(t.grand_total(), 185);
         t.reset();
         assert_eq!(t.grand_total(), 0);
+    }
+
+    #[test]
+    fn phase_names_are_canonical() {
+        assert_eq!(Phase::ALL.len(), 6);
+        for p in Phase::ALL {
+            let s: &'static str = p.into();
+            assert_eq!(s, p.as_str());
+            assert_eq!(format!("{p}"), s);
+        }
+        assert_eq!(Phase::RankingRetries.as_str(), "ranking-retries");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Exporters: Chrome `trace_event` JSON (load in `chrome://tracing`
+//! or Perfetto), flamegraph-foldable stacks (feed to
+//! `flamegraph.pl` / `inferno-flamegraph`), and the flat
+//! `metrics.json` registry snapshot.
+
+use crate::{metrics, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders spans as a Chrome `trace_event` JSON document: one
+/// complete event (`"ph": "X"`) per span, timestamps and durations in
+/// microseconds, span attributes (and virtual time, when set) in
+/// `args`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"cat\":\"tiptoe\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            esc(&s.display_name()),
+            s.start_us,
+            s.dur_us,
+            s.tid
+        );
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        for (k, v) in &s.attrs {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\"{}\":{v}", esc(k));
+            first = false;
+        }
+        if let Some(vu) = s.virtual_us {
+            let sep = if first { "" } else { "," };
+            let _ = write!(out, "{sep}\"virtual_us\":{vu}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders spans as flamegraph-foldable stacks: one
+/// `root;child;leaf value` line per unique path, where the value is
+/// aggregated **self time** in microseconds (total time minus the
+/// time covered by children), so the flamegraph's widths sum
+/// correctly.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_time.entry(p).or_insert(0) += s.dur_us;
+        }
+    }
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        // Walk the parent chain to build the stack path.
+        let mut path = vec![s.display_name()];
+        let mut cur = s.parent;
+        while let Some(pid) = cur {
+            match by_id.get(&pid) {
+                Some(p) => {
+                    path.push(p.display_name());
+                    cur = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        let self_us = s.dur_us.saturating_sub(child_time.get(&s.id).copied().unwrap_or(0));
+        *agg.entry(path.join(";")).or_insert(0) += self_us;
+    }
+    let mut out = String::new();
+    for (path, us) in agg {
+        let _ = writeln!(out, "{path} {us}");
+    }
+    out
+}
+
+/// Derives the sibling artifact path: `trace.json` →
+/// `trace.metrics.json` / `trace.folded`.
+fn sibling(path: &Path, ext: &str) -> std::path::PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    path.with_file_name(format!("{stem}.{ext}"))
+}
+
+/// Writes the three artifacts for the given spans: the Chrome trace
+/// at `path`, the metrics snapshot at `<stem>.metrics.json`, and the
+/// folded stacks at `<stem>.folded`.
+pub fn write_artifacts(path: &Path, spans: &[SpanRecord]) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json(spans))?;
+    std::fs::write(sibling(path, "metrics.json"), metrics().snapshot().to_json())?;
+    std::fs::write(sibling(path, "folded"), folded_stacks(spans))?;
+    Ok(())
+}
+
+/// Best-effort per-query export: when tracing is enabled and a path
+/// is configured, writes the current span buffer and metrics
+/// snapshot. Errors are reported to stderr, never propagated — a
+/// full disk must not fail a query.
+pub fn export_query_artifacts() {
+    if !crate::enabled() {
+        return;
+    }
+    let Some(path) = crate::trace_path() else { return };
+    let spans = crate::spans_snapshot();
+    if let Err(e) = write_artifacts(Path::new(&path), &spans) {
+        eprintln!("tiptoe-obs: failed to write trace artifacts to {path}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "client.query",
+                label: None,
+                start_us: 0,
+                dur_us: 100,
+                virtual_us: None,
+                tid: 1,
+                attrs: vec![],
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "rank.shard",
+                label: Some("0".into()),
+                start_us: 10,
+                dur_us: 40,
+                virtual_us: Some(250_000),
+                tid: 1,
+                attrs: vec![("rows", 512), ("cols", 64)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_events_and_args() {
+        let json = chrome_trace_json(&sample_spans());
+        assert!(json.contains("\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"name\":\"client.query\""), "{json}");
+        assert!(json.contains("\"name\":\"rank.shard[0]\""), "{json}");
+        assert!(json.contains("\"rows\":512"), "{json}");
+        assert!(json.contains("\"virtual_us\":250000"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time() {
+        let out = folded_stacks(&sample_spans());
+        // Root's self time = 100 - 40 = 60; child keeps its 40.
+        assert!(out.contains("client.query 60"), "{out}");
+        assert!(out.contains("client.query;rank.shard[0] 40"), "{out}");
+    }
+
+    #[test]
+    fn write_artifacts_emits_three_files() {
+        // Keep test artifacts inside the workspace's target directory.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("tiptoe-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.json");
+        write_artifacts(&path, &sample_spans()).expect("write");
+        assert!(path.exists());
+        assert!(dir.join("trace.metrics.json").exists());
+        assert!(dir.join("trace.folded").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

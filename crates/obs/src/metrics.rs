@@ -1,0 +1,420 @@
+//! Metrics registry: monotonic counters, gauges, and log-scaled
+//! histograms, keyed by a static metric name plus an optional dynamic
+//! label (typically a shard).
+//!
+//! Metrics are **always on** — unlike spans they are a handful of
+//! atomic operations per protocol message, so there is no enablement
+//! gate. Handles are `Arc`-shared: look one up once (e.g. per query or
+//! per dispatch) and update it with lock-free atomic ops afterwards.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Key type: static metric name + optional label.
+type Key = (&'static str, Option<String>);
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `v` to the counter.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: values 0..16 get exact buckets, then
+/// 4 sub-buckets per power of two up to `u64::MAX` (HDR-lite).
+const BUCKETS: usize = 256;
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log-scaled histogram of non-negative integer samples
+/// (microseconds, bytes, ...). Relative quantile error is bounded by
+/// the sub-bucket width: ≤ 25% anywhere, exact below 16.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+/// Maps a sample to its bucket: exact for v < 16, then
+/// `16 + (log2(v) - 4) * 4 + sub` where `sub` is the top two bits
+/// below the leading one.
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let m = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 4
+    let sub = ((v >> (m - 2)) & 3) as usize;
+    (16 + (m - 4) * 4 + sub).min(BUCKETS - 1)
+}
+
+/// Upper edge of bucket `i` — the value reported for quantiles that
+/// land in it (conservative: never under-reports a latency).
+fn bucket_value(i: usize) -> u64 {
+    if i < 16 {
+        return i as u64;
+    }
+    let rel = i - 16;
+    let m = rel / 4 + 4;
+    let sub = (rel % 4) as u64;
+    // Bucket spans [base + sub*step, base + (sub+1)*step) where
+    // base = 2^m and step = 2^(m-2).
+    let base = 1u64 << m;
+    let step = 1u64 << (m - 2);
+    base + (sub + 1) * step - 1
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper edge,
+    /// clamped to the exact max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// `name` or `name[label]`.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Median (bucket upper edge).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Point-in-time summary of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values keyed by display name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values keyed by display name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Hand-rolled JSON rendering (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(k));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(k));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                esc(&h.name),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn display_key(key: &Key) -> String {
+    match &key.1 {
+        Some(l) => format!("{}[{}]", key.0, l),
+        None => key.0.to_string(),
+    }
+}
+
+/// The process-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<Key, Counter>>,
+    gauges: Mutex<BTreeMap<Key, Gauge>>,
+    histograms: Mutex<BTreeMap<Key, Histogram>>,
+}
+
+impl Registry {
+    /// The counter registered under `name` (no label), created on
+    /// first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counter_with(name, None)
+    }
+
+    /// The counter registered under `name[label]`.
+    pub fn counter_with(&self, name: &'static str, label: Option<String>) -> Counter {
+        self.counters
+            .lock()
+            .expect("counter lock")
+            .entry((name, label))
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge registered under `name` (no label).
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauge_with(name, None)
+    }
+
+    /// The gauge registered under `name[label]`.
+    pub fn gauge_with(&self, name: &'static str, label: Option<String>) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("gauge lock")
+            .entry((name, label))
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// The histogram registered under `name` (no label).
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.histogram_with(name, None)
+    }
+
+    /// The histogram registered under `name[label]`.
+    pub fn histogram_with(&self, name: &'static str, label: Option<String>) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("histogram lock")
+            .entry((name, label))
+            .or_insert_with(Histogram::new)
+            .clone()
+    }
+
+    /// Drops every metric (tests use this to isolate assertions; old
+    /// handles keep working but are no longer reachable by name).
+    pub fn reset(&self) {
+        self.counters.lock().expect("counter lock").clear();
+        self.gauges.lock().expect("gauge lock").clear();
+        self.histograms.lock().expect("histogram lock").clear();
+    }
+
+    /// A point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(k, c)| (display_key(k), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge lock")
+            .iter()
+            .map(|(k, g)| (display_key(k), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram lock")
+            .iter()
+            .map(|(k, h)| HistogramSnapshot {
+                name: display_key(k),
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                p50: h.quantile(0.50),
+                p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// The process-wide registry.
+pub fn metrics() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = Registry::default();
+        let a = r.counter("test.bytes");
+        let b = r.counter("test.bytes");
+        a.add(10);
+        b.add(5);
+        assert_eq!(r.counter("test.bytes").get(), 15);
+        r.counter_with("test.bytes", Some("shard0".into())).add(3);
+        assert_eq!(r.counter("test.bytes").get(), 15, "labels are distinct series");
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let r = Registry::default();
+        let g = r.gauge("test.noise");
+        g.set(12.5);
+        g.set(-3.25);
+        assert_eq!(r.gauge("test.noise").get(), -3.25);
+    }
+
+    #[test]
+    fn bucket_roundtrip_is_monotone_and_conservative() {
+        for v in [0u64, 1, 7, 15, 16, 17, 100, 1000, 65_535, 1 << 30, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(bucket_value(i) >= v, "upper edge {} < sample {v}", bucket_value(i));
+            if i > 0 {
+                assert!(bucket_value(i - 1) < v, "sample {v} fits an earlier bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let r = Registry::default();
+        let h = r.histogram("test.lat");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Bucket upper edges: within 25% above the exact quantile.
+        assert!((500..=640).contains(&p50), "p50 = {p50}");
+        assert!((950..=1000).contains(&p95), "p95 = {p95}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let r = Registry::default();
+        let h = r.histogram("test.empty");
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let r = Registry::default();
+        r.counter("a.count").add(2);
+        r.gauge_with("b.gauge", Some("s1".into())).set(1.5);
+        r.histogram("c.hist").record(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a.count".to_string(), 2)]);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.gauges[0].0, "b.gauge[s1]");
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"a.count\": 2"), "{json}");
+        assert!(json.contains("\"b.gauge[s1]\": 1.5"), "{json}");
+        assert!(json.contains("\"c.hist\""), "{json}");
+    }
+
+    #[test]
+    fn reset_clears_names() {
+        let r = Registry::default();
+        r.counter("x").add(1);
+        r.reset();
+        assert_eq!(r.counter("x").get(), 0);
+    }
+}

@@ -156,12 +156,14 @@ impl PirServer {
     /// Generates a (single-use) query token for a client's encrypted
     /// secret — the offline phase of §6.3.
     pub fn generate_token(&self, es: &EncryptedSecret) -> QueryToken {
+        let _span = tiptoe_obs::span("pir.token_gen");
         self.uh.generate_token(&self.server_hint, es)
     }
 
     /// Token generation over a pre-expanded secret (shared with other
     /// services holding the same outer parameters).
     pub fn generate_token_expanded(&self, es: &ExpandedSecret) -> QueryToken {
+        let _span = tiptoe_obs::span("pir.token_gen");
         self.uh.generate_token_expanded(&self.server_hint, es)
     }
 
@@ -174,6 +176,9 @@ impl PirServer {
     /// Panics if the ciphertext dimension differs from the number of
     /// records.
     pub fn answer(&self, ct: &LweCiphertext<u32>) -> Vec<u32> {
+        let mut span = tiptoe_obs::span("pir.answer");
+        span.attr_u64("rows", self.db.rows() as u64);
+        span.attr_u64("cols", self.db.num_records() as u64);
         scheme::apply(self.db.matrix(), ct)
     }
 
@@ -187,6 +192,10 @@ impl PirServer {
     /// Panics if any ciphertext dimension differs from the number of
     /// records.
     pub fn answer_many(&self, cts: &[LweCiphertext<u32>], num_threads: usize) -> Vec<Vec<u32>> {
+        let mut span = tiptoe_obs::span("pir.answer");
+        span.attr_u64("rows", self.db.rows() as u64);
+        span.attr_u64("cols", self.db.num_records() as u64);
+        span.attr_u64("batch", cts.len() as u64);
         scheme::apply_many(self.db.matrix(), cts, num_threads)
     }
 

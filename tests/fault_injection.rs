@@ -189,9 +189,9 @@ fn corrupted_and_truncated_responses_are_rejected_and_retried() {
     );
     assert_eq!(results.hits, reference.hits);
     // Wasted bytes surfaced in the shared transcript.
-    use tiptoe_net::Direction;
+    use tiptoe_net::{Direction, Phase};
     assert_eq!(
-        tolerant.transcript.phase_total("ranking-retries", Direction::Download),
+        tolerant.transcript.phase_total(Phase::RankingRetries, Direction::Download),
         dq.rank_report.wasted_response_bytes
     );
 }

@@ -40,15 +40,15 @@ fn wire_transcript_is_independent_of_the_query() {
     for q in queries {
         instance.transcript.reset();
         let results = client.search(&instance, q, 5);
-        let phases: Vec<(String, u64, u64)> = instance
+        let phases: Vec<(&'static str, u64, u64)> = instance
             .transcript
             .phases()
             .into_iter()
             .map(|p| {
                 (
-                    p.clone(),
-                    instance.transcript.phase_total(&p, Direction::Upload),
-                    instance.transcript.phase_total(&p, Direction::Download),
+                    p.as_str(),
+                    instance.transcript.phase_total(p, Direction::Upload),
+                    instance.transcript.phase_total(p, Direction::Download),
                 )
             })
             .collect();
