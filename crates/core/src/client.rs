@@ -27,12 +27,13 @@ use tiptoe_embed::quantize::Quantizer;
 use tiptoe_embed::vector::normalize;
 use tiptoe_embed::Embedder;
 use tiptoe_math::rng::{derive_seed, seeded_rng};
-use tiptoe_net::{timed, FaultPlan, FaultReport, LinkModel, ParallelTiming, Phase};
+use tiptoe_net::{timed, FaultPlan, FaultReport, Ledger, LinkModel, ParallelTiming, Phase};
 use tiptoe_pir::PirClient;
 use tiptoe_underhood::{combine_decoded_subset, ClientKey, DecodedToken, EncryptedSecret};
 
 use crate::batch::ClientMetadata;
 use crate::instance::TiptoeInstance;
+use crate::serving::ServingPlane;
 
 /// One search result.
 #[derive(Debug, Clone, PartialEq)]
@@ -211,6 +212,24 @@ impl TiptoeClient {
     /// uploads the encrypted secret once and downloads the ranking and
     /// URL tokens. Returns the cost of the fetch.
     pub fn fetch_token<E: Embedder>(&mut self, instance: &TiptoeInstance<E>) -> QueryCost {
+        // A *standalone* prefetch (one happening outside a query
+        // round, e.g. in the background between queries) is its own
+        // tracing boundary: without this, its spans — notably the
+        // per-shard `rank.token_shard` fan-out — would pile into the
+        // previous query's buffer and never be exported.
+        let standalone = tiptoe_obs::enabled() && tiptoe_obs::current_span().is_none();
+        if standalone {
+            tiptoe_obs::begin_query();
+        }
+        let cost = self.fetch_token_inner(instance);
+        if standalone {
+            tiptoe_obs::export::export_query_artifacts();
+        }
+        cost
+    }
+
+    /// The token fetch proper (see [`Self::fetch_token`]).
+    fn fetch_token_inner<E: Embedder>(&mut self, instance: &TiptoeInstance<E>) -> QueryCost {
         let _span = tiptoe_obs::span("client.token_fetch");
         let mut cost = QueryCost::default();
         let uh_rank = instance.ranking.underhood();
@@ -303,7 +322,7 @@ impl TiptoeClient {
         let first_cluster = order.first().copied().unwrap_or(0);
         let mut degraded: Option<DegradedQuery> = None;
         for &cluster in &order {
-            let results = self.search_in_cluster(instance, query, k, Some(cluster), None);
+            let results = self.search_in_cluster(instance, query, k, Some(cluster), None, None);
             total_cost = add_costs(&total_cost, &results.cost);
             merged.extend(results.hits);
             degraded = merge_degraded(degraded, results.degraded);
@@ -329,7 +348,47 @@ impl TiptoeClient {
         query: &str,
         k: usize,
     ) -> SearchResults {
-        self.search_in_cluster(instance, query, k, None, None)
+        self.search_in_cluster(instance, query, k, None, None, None)
+    }
+
+    /// [`TiptoeClient::search`] through a serving plane: shard compute
+    /// is routed through the plane's batch coalescers, so searches
+    /// issued by concurrent clients share database scans. Results are
+    /// bit-identical to [`TiptoeClient::search`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn search_served<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        serving: &ServingPlane<'_>,
+    ) -> SearchResults {
+        self.search_in_cluster(instance, query, k, None, None, Some(serving))
+    }
+
+    /// [`TiptoeClient::search_with_faults`] through a serving plane:
+    /// fault handling applies per query at the dispatch layer while
+    /// the healthy shards' compute is still coalesced underneath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the instance's fault policy is disabled.
+    pub fn search_served_with_faults<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        plan: &FaultPlan,
+        serving: &ServingPlane<'_>,
+    ) -> SearchResults {
+        assert!(
+            instance.config.fault_policy.enabled,
+            "search_served_with_faults needs an instance with fault_policy.enabled"
+        );
+        self.search_in_cluster(instance, query, k, None, Some(plan), Some(serving))
     }
 
     /// One private search under an explicit fault plan: the query runs
@@ -355,7 +414,7 @@ impl TiptoeClient {
             instance.config.fault_policy.enabled,
             "search_with_faults needs an instance with fault_policy.enabled"
         );
-        self.search_in_cluster(instance, query, k, None, Some(plan))
+        self.search_in_cluster(instance, query, k, None, Some(plan), None)
     }
 
     /// One protocol round, optionally forcing the searched cluster
@@ -373,11 +432,12 @@ impl TiptoeClient {
         k: usize,
         force_cluster: Option<usize>,
         plan: Option<&FaultPlan>,
+        serving: Option<&ServingPlane<'_>>,
     ) -> SearchResults {
         tiptoe_obs::begin_query();
         let results = {
             let _root = tiptoe_obs::span("client.query");
-            self.run_query(instance, query, k, force_cluster, plan)
+            self.run_query(instance, query, k, force_cluster, plan, serving)
         };
         tiptoe_obs::export::export_query_artifacts();
         results
@@ -391,6 +451,7 @@ impl TiptoeClient {
         k: usize,
         force_cluster: Option<usize>,
         plan: Option<&FaultPlan>,
+        serving: Option<&ServingPlane<'_>>,
     ) -> SearchResults {
         assert!(k > 0, "k must be positive");
         if self.tokens.is_empty() {
@@ -425,39 +486,37 @@ impl TiptoeClient {
             );
             (ct, cluster)
         });
+        // --- Ranking service (step 2): one typed dispatch for every
+        // serving mode (healthy, fault-aware, coalesced). Sizes are
+        // fixed by the protocol shape — a degraded query must keep
+        // the same observable wire footprint as a healthy one.
         cost.rank_up = ct.byte_len();
-        instance.transcript.record_up(Phase::Ranking, cost.rank_up);
-
-        // --- Ranking service (step 2).
+        cost.rank_down = (instance.ranking.rows() * 8) as u64;
         let policy = &instance.config.fault_policy;
         let benign = FaultPlan::none();
         let plan = plan.unwrap_or(&benign);
         let rank_span = tiptoe_obs::span("client.rank_phase");
-        let (applied, survivors, mut degraded) = if policy.enabled {
-            let da = instance.ranking.answer_with_faults(&ct, plan, policy);
-            cost.rank_server = da.report.timing;
-            cost.rank_down = (da.scores.len() * 8) as u64;
-            instance.transcript.record_down(Phase::Ranking, cost.rank_down);
-            if da.report.wasted_response_bytes > 0 {
-                instance
-                    .transcript
-                    .record_down(Phase::RankingRetries, da.report.wasted_response_bytes);
-            }
-            let dq = DegradedQuery {
-                searched_cluster_missing: da.missing_clusters.contains(&cluster),
-                missing_clusters: da.missing_clusters,
-                url_failed: false,
-                rank_report: da.report,
-                url_report: FaultReport::default(),
-            };
-            (da.scores, da.survivors, Some(dq))
-        } else {
-            let (applied, rank_timing) = instance.ranking.answer(&ct);
-            cost.rank_server = rank_timing;
-            cost.rank_down = (applied.len() * 8) as u64;
-            instance.transcript.record_down(Phase::Ranking, cost.rank_down);
-            (applied, Vec::new(), None)
+        let ledger = Ledger {
+            transcript: &instance.transcript,
+            phase: Phase::Ranking,
+            retry_phase: Phase::RankingRetries,
+            up_bytes: cost.rank_up,
+            down_bytes: cost.rank_down,
         };
+        let ranked = instance.ranking.dispatch_answer(&ct, plan, policy, Some(&ledger), serving);
+        cost.rank_server = ranked.timing;
+        let applied = ranked.response;
+        let survivors = ranked.survivors;
+        let mut degraded = ranked.report.map(|report| {
+            let missing_clusters = instance.ranking.missing_clusters(&survivors);
+            DegradedQuery {
+                searched_cluster_missing: missing_clusters.contains(&cluster),
+                missing_clusters,
+                url_failed: false,
+                rank_report: report,
+                url_report: FaultReport::default(),
+            }
+        });
         drop(rank_span);
 
         // --- Client: decrypt scores, pick the best member. On the
@@ -506,32 +565,27 @@ impl TiptoeClient {
             )
         });
         cost.url_up = url_ct.byte_len();
-        instance.transcript.record_up(Phase::Url, cost.url_up);
-        let answer: Option<Vec<u32>> = if policy.enabled {
-            // The URL server shares the plan's address space at index
-            // `W`, after the ranking shards.
-            let shard_base = instance.ranking.num_shards();
-            let (answer, report) = instance.url.answer_with_faults(&url_ct, shard_base, plan, policy);
-            cost.url_server = report.timing;
-            // A fixed-size phase regardless of outcome: accounting (and
-            // the observable wire footprint) must not depend on faults.
-            cost.url_down = (instance.url.database().rows() * 4) as u64;
-            instance.transcript.record_down(Phase::Url, cost.url_down);
-            if report.wasted_response_bytes > 0 {
-                instance.transcript.record_down(Phase::UrlRetries, report.wasted_response_bytes);
-            }
-            if let Some(dq) = degraded.as_mut() {
-                dq.url_failed = answer.is_none();
-                dq.url_report = report;
-            }
-            answer
-        } else {
-            let (answer, url_timing) = instance.url.answer(&url_ct);
-            cost.url_server = url_timing;
-            cost.url_down = (answer.len() * 4) as u64;
-            instance.transcript.record_down(Phase::Url, cost.url_down);
-            Some(answer)
+        // A fixed-size phase regardless of outcome: accounting (and
+        // the observable wire footprint) must not depend on faults.
+        cost.url_down = (instance.url.database().rows() * 4) as u64;
+        let url_ledger = Ledger {
+            transcript: &instance.transcript,
+            phase: Phase::Url,
+            retry_phase: Phase::UrlRetries,
+            up_bytes: cost.url_up,
+            down_bytes: cost.url_down,
         };
+        // The URL server shares the plan's address space at index `W`,
+        // after the ranking shards.
+        let shard_base = instance.ranking.num_shards();
+        let fetched =
+            instance.url.dispatch_answer(&url_ct, shard_base, plan, policy, Some(&url_ledger), serving);
+        cost.url_server = fetched.timing;
+        let answer = fetched.response;
+        if let (Some(report), Some(dq)) = (fetched.report, degraded.as_mut()) {
+            dq.url_failed = answer.is_none();
+            dq.url_report = report;
+        }
         drop(url_span);
 
         // --- Client: recover the record and assemble ranked URLs. A

@@ -3,7 +3,7 @@
 use tiptoe_cluster::ClusterConfig;
 use tiptoe_embed::quantize::Quantizer;
 use tiptoe_lwe::LweParams;
-use tiptoe_net::FaultPolicy;
+use tiptoe_net::{CoalescePolicy, FaultPolicy};
 use tiptoe_rlwe::RlweParams;
 
 /// Server-side parallelism and batching knobs.
@@ -67,6 +67,13 @@ pub struct TiptoeConfig {
     /// enabled, clients fetch per-shard ranking tokens so they can
     /// decrypt over any surviving subset of shards (degraded mode).
     pub fault_policy: FaultPolicy,
+    /// Cross-client batch-coalescing knobs for the serving plane
+    /// ([`crate::serving::ServingPlane`]): how many concurrent query
+    /// ciphertexts a shard groups into one database scan, how long a
+    /// lone request waits for co-batched traffic, and the queue-depth
+    /// bound that applies backpressure. Coalesced answers are
+    /// bit-identical to sequential ones at every batch size.
+    pub coalesce: CoalescePolicy,
     /// When set, enables span tracing and exports per-query trace
     /// artifacts (Chrome trace, metrics snapshot, folded stacks) to
     /// this path — the programmatic twin of the `TIPTOE_TRACE`
@@ -99,6 +106,7 @@ impl TiptoeConfig {
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
+            coalesce: CoalescePolicy::default(),
             trace_path: None,
             seed,
         }
@@ -122,6 +130,7 @@ impl TiptoeConfig {
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
+            coalesce: CoalescePolicy::default(),
             trace_path: None,
             seed,
         }
@@ -153,6 +162,7 @@ impl TiptoeConfig {
             pack_ranking_db: false,
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
+            coalesce: CoalescePolicy::default(),
             trace_path: None,
             seed,
         }
@@ -185,6 +195,7 @@ impl TiptoeConfig {
             self.fault_policy.validate();
         }
         assert!(self.parallelism.batch_size >= 1, "need a positive query batch size");
+        self.coalesce.validate();
         assert!(self.urls_per_batch >= 1, "need at least one URL per batch");
         if self.pack_ranking_db {
             assert!(

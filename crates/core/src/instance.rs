@@ -84,6 +84,15 @@ impl<E: Embedder> TiptoeInstance<E> {
         TiptoeClient::new(self, seed)
     }
 
+    /// Brings up the serving plane over this deployment's services:
+    /// one batch-coalescing lane per ranking shard plus one for the
+    /// URL server, under the configured [`TiptoeConfig::coalesce`]
+    /// policy. The plane borrows the services, so drop it before any
+    /// mutable corpus update.
+    pub fn serving_plane(&self) -> crate::serving::ServingPlane<'_> {
+        crate::serving::ServingPlane::new(&self.ranking, &self.url, self.config.coalesce)
+    }
+
     /// Total server-side index storage across both services.
     pub fn server_storage_bytes(&self) -> u64 {
         self.ranking.server_storage_bytes() + self.url.storage_bytes()

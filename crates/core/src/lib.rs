@@ -17,6 +17,9 @@
 //!   and result assembly, with exact per-phase cost accounting.
 //! - [`instance`] — a whole deployment (both services + the client
 //!   bundle) built from a corpus in one call.
+//! - [`serving`] — the serving plane: per-shard batch coalescers that
+//!   let concurrently arriving queries share database scans (typed
+//!   dispatch itself lives in `tiptoe-net`).
 //! - [`analysis`] — the analytic cost models behind Table 6, Figure 8,
 //!   and Figure 9 (Coeus scaling, client-side-index baselines, AWS
 //!   prices, web-scale extrapolation).
@@ -62,6 +65,7 @@ pub mod keyword;
 pub mod noncolluding;
 pub mod ranking;
 pub mod recommend;
+pub mod serving;
 pub mod throughput;
 pub mod update;
 pub mod url;

@@ -19,23 +19,14 @@ use tiptoe_math::nibble::NibbleMat;
 use tiptoe_math::rng::derive_seed;
 use tiptoe_math::wire::{WireError, WireReader, WireWriter};
 use tiptoe_math::zq::Word;
-use tiptoe_net::{dispatch_faulty, simulate_parallel, FaultPlan, FaultPolicy, FaultReport, ParallelTiming};
+use tiptoe_net::{dispatch, Dispatched, FaultPlan, FaultPolicy, Ledger, ParallelTiming, Service};
 use tiptoe_underhood::{
     combine_partial_tokens, EncryptedSecret, ExpandedSecret, QueryToken, ServerHint, Underhood,
 };
 
 use crate::batch::IndexArtifacts;
 use crate::config::{Parallelism, TiptoeConfig};
-
-/// A per-shard span labeled with the shard index (label formatting is
-/// skipped entirely when tracing is off).
-fn shard_span(name: &'static str, idx: usize) -> tiptoe_obs::Span {
-    let mut span = tiptoe_obs::span(name);
-    if tiptoe_obs::enabled() {
-        span.set_label(format!("{idx}"));
-    }
-    span
-}
+use crate::serving::ServingPlane;
 
 /// One shard's database: plain `Z_p` residues or packed signed
 /// nibbles (8× smaller; power-of-two `p` only).
@@ -101,19 +92,111 @@ pub struct RankingService {
     pub preproc_time: Duration,
 }
 
-/// What a fault-tolerant ranking fan-out returned: the summed scores
-/// over the shards that answered, plus exactly what went missing.
-#[derive(Debug)]
-pub struct DegradedAnswer {
-    /// `Σ_w a_w` over the *surviving* shards (failed shards contribute
-    /// zero, so their clusters decode to garbage the client discards).
-    pub scores: Vec<u64>,
-    /// `survivors[w]` is true iff shard `w` delivered a verified answer.
-    pub survivors: Vec<bool>,
-    /// Cluster indices whose scores are unavailable this query.
-    pub missing_clusters: Vec<usize>,
-    /// Retry/timeout/hedge accounting and virtual timing.
-    pub report: FaultReport,
+/// The ranking fan-out as a typed [`Service`]: shard `w` slices its
+/// column range out of the query ciphertext, applies `M_w` (directly
+/// or through a coalescing lane of the serving plane), and ships the
+/// partial product; the coordinator wrapping-adds the parts. Failed
+/// shards contribute zero, so their clusters decode to garbage the
+/// client discards.
+struct RankAnswer<'a> {
+    svc: &'a RankingService,
+    via: Option<&'a ServingPlane<'a>>,
+}
+
+impl Service for RankAnswer<'_> {
+    type Request = LweCiphertext<u64>;
+    type Part = Vec<u64>;
+    type Response = Vec<u64>;
+
+    fn outer_span(&self) -> &'static str {
+        "rank.answer"
+    }
+
+    fn shard_span(&self) -> &'static str {
+        "rank.shard"
+    }
+
+    fn num_shards(&self) -> usize {
+        self.svc.shards.len()
+    }
+
+    fn serve(&self, idx: usize, ct: &LweCiphertext<u64>) -> Vec<u8> {
+        let shard = &self.svc.shards[idx];
+        let chunk = ct.c[shard.col_start..shard.col_start + shard.db.cols()].to_vec();
+        let part = match self.via {
+            Some(plane) => plane.rank_chunk(idx, chunk),
+            None => shard.db.apply(&LweCiphertext { c: chunk }),
+        };
+        let mut w = WireWriter::new();
+        w.put_u64_slice(&part);
+        w.finish()
+    }
+
+    fn parse(&self, _idx: usize, payload: &[u8]) -> Result<Vec<u64>, WireError> {
+        let mut r = WireReader::new(payload);
+        let part = r.get_u64_slice()?;
+        r.finish()?;
+        if part.len() != self.svc.rows {
+            return Err(WireError::Invalid("shard answer has the wrong row count"));
+        }
+        Ok(part)
+    }
+
+    fn combine(&self, parts: Vec<Option<Vec<u64>>>) -> Vec<u64> {
+        let mut total = vec![0u64; self.svc.rows];
+        for part in parts.into_iter().flatten() {
+            for (t, p) in total.iter_mut().zip(part.iter()) {
+                *t = t.wadd(*p);
+            }
+        }
+        total
+    }
+
+    fn cluster_range(&self) -> Option<(usize, usize)> {
+        Some((0, self.svc.cols / self.svc.d))
+    }
+}
+
+/// Token generation (§6.3) as a typed [`Service`]: each worker
+/// evaluates `Enc2(hint_w · s)` over its hint shard; parts stay
+/// separate (the combined-token path sums them afterwards).
+struct RankToken<'a> {
+    svc: &'a RankingService,
+}
+
+impl Service for RankToken<'_> {
+    type Request = ExpandedSecret;
+    type Part = QueryToken;
+    type Response = Vec<QueryToken>;
+
+    fn outer_span(&self) -> &'static str {
+        "rank.token"
+    }
+
+    fn shard_span(&self) -> &'static str {
+        "rank.token_shard"
+    }
+
+    fn num_shards(&self) -> usize {
+        self.svc.shards.len()
+    }
+
+    fn serve(&self, idx: usize, es: &ExpandedSecret) -> Vec<u8> {
+        // Inside each shard the (chunk, limb) NTT multiply-accumulate
+        // units fan out across threads; the token is bit-identical to
+        // the sequential evaluation.
+        let threads = self.svc.parallelism.num_threads;
+        let shard = &self.svc.shards[idx];
+        self.svc.uh.generate_token_expanded_par(&shard.server_hint, es, threads).encode()
+    }
+
+    fn parse(&self, _idx: usize, payload: &[u8]) -> Result<QueryToken, WireError> {
+        QueryToken::decode(payload)
+    }
+
+    fn combine(&self, parts: Vec<Option<QueryToken>>) -> Vec<QueryToken> {
+        parts.into_iter().flatten().collect()
+    }
 }
 
 impl RankingService {
@@ -297,18 +380,8 @@ impl RankingService {
     /// Token generation over a pre-expanded secret; the expansion can
     /// be shared with the URL service (§A.3's shared-key upload).
     pub fn generate_token_expanded(&self, es: &ExpandedSecret) -> (QueryToken, ParallelTiming) {
-        // Inside each shard the (chunk, limb) NTT multiply-accumulate
-        // units fan out across threads; the token is bit-identical to
-        // the sequential evaluation.
-        let threads = self.parallelism.num_threads;
-        let mut idx = 0usize;
-        let (parts, timing) = simulate_parallel(&self.shards, |shard| {
-            let _span = shard_span("rank.token_shard", idx);
-            idx += 1;
-            self.uh.generate_token_expanded_par(&shard.server_hint, es, threads)
-        });
-        let combined = combine_partial_tokens(&self.uh, &parts);
-        (combined, timing)
+        let (parts, timing) = self.generate_token_parts_expanded(es);
+        (combine_partial_tokens(&self.uh, &parts), timing)
     }
 
     /// Per-shard query tokens, *not* combined: clients on the
@@ -320,13 +393,15 @@ impl RankingService {
         &self,
         es: &ExpandedSecret,
     ) -> (Vec<QueryToken>, ParallelTiming) {
-        let threads = self.parallelism.num_threads;
-        let mut idx = 0usize;
-        simulate_parallel(&self.shards, |shard| {
-            let _span = shard_span("rank.token_shard", idx);
-            idx += 1;
-            self.uh.generate_token_expanded_par(&shard.server_hint, es, threads)
-        })
+        let d = dispatch(
+            &RankToken { svc: self },
+            es,
+            0,
+            &FaultPlan::none(),
+            &FaultPolicy::default(),
+            None,
+        );
+        (d.response, d.timing)
     }
 
     /// The column range `[start, end)` served by shard `idx`.
@@ -392,82 +467,58 @@ impl RankingService {
     ///
     /// Panics if the ciphertext dimension differs from `d·C`.
     pub fn answer(&self, ct: &LweCiphertext<u64>) -> (Vec<u64>, ParallelTiming) {
-        assert_eq!(ct.c.len(), self.cols, "ciphertext dimension mismatch");
-        let _outer = tiptoe_obs::span("rank.answer");
-        let mut idx = 0usize;
-        let (parts, timing) = simulate_parallel(&self.shards, |shard| {
-            // simulate_parallel runs shards one at a time, so per-shard
-            // spans stay sequential and the tree is deterministic.
-            let _span = shard_span("rank.shard", idx);
-            idx += 1;
-            let chunk = LweCiphertext {
-                c: ct.c[shard.col_start..shard.col_start + shard.db.cols()].to_vec(),
-            };
-            shard.db.apply(&chunk)
-        });
-        let mut total = vec![0u64; self.rows];
-        for part in parts {
-            for (t, p) in total.iter_mut().zip(part.iter()) {
-                *t = t.wadd(*p);
-            }
-        }
-        (total, timing)
+        self.answer_via(ct, None)
     }
 
-    /// Fault-aware online query: the same fan-out as
-    /// [`RankingService::answer`], but each worker's response crosses
-    /// the checksummed envelope under `plan`'s injected faults, with
-    /// `policy`'s timeouts, retries, and hedging. Shards that never
-    /// deliver contribute zero to the sum and their clusters are
-    /// reported in [`DegradedAnswer::missing_clusters`].
-    ///
-    /// With a benign plan every shard answers on the first attempt and
-    /// `scores` equals [`RankingService::answer`] exactly.
+    /// [`RankingService::answer`], optionally routing each shard's
+    /// compute through the serving plane's coalescing lanes so
+    /// concurrent queries share database scans. Coalesced answers are
+    /// bit-identical to direct ones.
     ///
     /// # Panics
     ///
-    /// Panics if the ciphertext dimension differs from `d·C` or the
-    /// policy is invalid.
-    pub fn answer_with_faults(
+    /// Panics if the ciphertext dimension differs from `d·C`.
+    pub fn answer_via(
+        &self,
+        ct: &LweCiphertext<u64>,
+        via: Option<&ServingPlane<'_>>,
+    ) -> (Vec<u64>, ParallelTiming) {
+        let d = self.dispatch_answer(ct, &FaultPlan::none(), &FaultPolicy::default(), None, via);
+        (d.response, d.timing)
+    }
+
+    /// Dispatches an online ranking query through the typed service
+    /// plane ([`tiptoe_net::dispatch`]): transcript accounting via
+    /// `ledger`, fault handling under `plan`/`policy` (healthy fan-out
+    /// when the policy is disabled), and optional batch coalescing via
+    /// the serving plane — one engine for every serving mode.
+    ///
+    /// With a benign plan every shard answers on the first attempt and
+    /// the response equals [`RankingService::answer`] exactly; shards
+    /// that never deliver contribute zero to the sum (see
+    /// [`RankingService::missing_clusters`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension differs from `d·C` or an
+    /// enabled policy is invalid.
+    pub fn dispatch_answer(
         &self,
         ct: &LweCiphertext<u64>,
         plan: &FaultPlan,
         policy: &FaultPolicy,
-    ) -> DegradedAnswer {
+        ledger: Option<&Ledger<'_>>,
+        via: Option<&ServingPlane<'_>>,
+    ) -> Dispatched<Vec<u64>> {
         assert_eq!(ct.c.len(), self.cols, "ciphertext dimension mismatch");
-        let _outer = tiptoe_obs::span("rank.answer");
-        let rows = self.rows;
-        let (parts, report) = dispatch_faulty(
-            &self.shards,
-            0,
-            plan,
-            policy,
-            |_, shard| {
-                let chunk = LweCiphertext {
-                    c: ct.c[shard.col_start..shard.col_start + shard.db.cols()].to_vec(),
-                };
-                let mut w = WireWriter::new();
-                w.put_u64_slice(&shard.db.apply(&chunk));
-                w.finish()
-            },
-            |_, bytes| {
-                let mut r = WireReader::new(bytes);
-                let part = r.get_u64_slice()?;
-                r.finish()?;
-                if part.len() != rows {
-                    return Err(WireError::Invalid("shard answer has the wrong row count"));
-                }
-                Ok(part)
-            },
-        );
-        let mut scores = vec![0u64; rows];
-        let survivors: Vec<bool> = parts.iter().map(Option::is_some).collect();
-        for part in parts.into_iter().flatten() {
-            for (t, p) in scores.iter_mut().zip(part.iter()) {
-                *t = t.wadd(*p);
-            }
-        }
-        let missing_clusters = survivors
+        dispatch(&RankAnswer { svc: self, via }, ct, 0, plan, policy, ledger)
+    }
+
+    /// Cluster indices lost with the failed shards of a dispatch:
+    /// `survivors[w] == false` means shard `w`'s cluster range is
+    /// unavailable this query.
+    pub fn missing_clusters(&self, survivors: &[bool]) -> Vec<usize> {
+        survivors
             .iter()
             .enumerate()
             .filter(|(_, ok)| !**ok)
@@ -475,8 +526,7 @@ impl RankingService {
                 let (lo, hi) = self.shard_clusters(w);
                 lo..hi
             })
-            .collect();
-        DegradedAnswer { scores, survivors, missing_clusters, report }
+            .collect()
     }
 }
 

@@ -1,0 +1,140 @@
+//! The deployment's serving plane: per-shard batch coalescers that
+//! let concurrently arriving queries share database scans.
+//!
+//! The paper saturates its servers with up to 19 closed-loop clients
+//! (§8.1); Wally-style cross-user batching is what makes that scale —
+//! `B` concurrent ranking queries answered in one pass over each
+//! shard's matrix cost roughly one scan instead of `B`. The
+//! [`ServingPlane`] puts one [`Coalescer`] in front of every ranking
+//! shard (flushing through the batched
+//! [`RankingService::shard_answer_many`] kernel) and one in front of
+//! the URL server (flushing through the batched
+//! [`tiptoe_pir::PirServer::answer_many`] kernel via
+//! [`UrlService::answer_many`]).
+//!
+//! The plane is a *routing* layer under the typed service dispatch
+//! (`tiptoe_net::dispatch`): requests still flow per-query through
+//! the same accounting, fault, and span middleware; only the shard
+//! compute is shared. Because the batched kernels are bit-identical
+//! to their sequential counterparts, coalesced answers equal
+//! sequential answers byte-for-byte at every batch size.
+//!
+//! The plane *borrows* the services, so it is built on demand
+//! ([`crate::instance::TiptoeInstance::serving_plane`]) and dropped
+//! before any mutable corpus update.
+
+use tiptoe_lwe::LweCiphertext;
+use tiptoe_net::{CoalescePolicy, Coalescer};
+
+use crate::ranking::RankingService;
+use crate::url::UrlService;
+
+/// Batch coalescers over both services' shards. Shareable across
+/// client threads (`&ServingPlane` is `Send + Sync`).
+pub struct ServingPlane<'a> {
+    rank_lanes: Vec<Coalescer<'a, Vec<u64>, Vec<u64>>>,
+    url_lane: Coalescer<'a, LweCiphertext<u32>, Vec<u32>>,
+}
+
+impl<'a> ServingPlane<'a> {
+    /// Builds one coalescing lane per ranking shard plus one for the
+    /// URL server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn new(
+        ranking: &'a RankingService,
+        url: &'a UrlService,
+        policy: CoalescePolicy,
+    ) -> Self {
+        policy.validate();
+        let rank_lanes = (0..ranking.num_shards())
+            .map(|idx| {
+                Coalescer::new(policy, move |chunks: Vec<Vec<u64>>| {
+                    ranking.shard_answer_many(idx, &chunks)
+                })
+            })
+            .collect();
+        let threads = ranking.parallelism().num_threads;
+        let url_lane = Coalescer::new(policy, move |cts: Vec<LweCiphertext<u32>>| {
+            url.answer_many(&cts, threads)
+        });
+        Self { rank_lanes, url_lane }
+    }
+
+    /// Number of ranking lanes (one per shard).
+    pub fn num_rank_lanes(&self) -> usize {
+        self.rank_lanes.len()
+    }
+
+    /// Answers one ranking chunk through shard `idx`'s coalescing
+    /// lane: the request is batched with concurrently arriving chunks
+    /// and flushed through the batched kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn rank_chunk(&self, idx: usize, chunk: Vec<u64>) -> Vec<u64> {
+        self.rank_lanes[idx].submit(chunk)
+    }
+
+    /// Answers one URL PIR query through the coalescing lane.
+    pub fn url_answer(&self, ct: LweCiphertext<u32>) -> Vec<u32> {
+        self.url_lane.submit(ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::Rng;
+    use tiptoe_corpus::synth::{generate, CorpusConfig};
+    use tiptoe_embed::text::TextEmbedder;
+    use tiptoe_math::rng::seeded_rng;
+    use tiptoe_underhood::ClientKey;
+
+    use crate::config::TiptoeConfig;
+    use crate::instance::TiptoeInstance;
+
+    #[test]
+    fn coalesced_shard_answers_are_bit_identical() {
+        let corpus = generate(&CorpusConfig::small(150, 74), 0);
+        let config = TiptoeConfig::test_small(150, 74);
+        let embedder = TextEmbedder::new(config.d_embed, 74, 0);
+        let instance = TiptoeInstance::build(&config, embedder, &corpus);
+        let service = &instance.ranking;
+        let plane = instance.serving_plane();
+
+        let mut rng = seeded_rng(11);
+        let uh = service.underhood();
+        let key = ClientKey::generate(uh, config.rank_lwe.n, &mut rng);
+        let cts: Vec<_> = (0..3)
+            .map(|_| {
+                let v: Vec<u64> = (0..service.upload_dim())
+                    .map(|_| rng.gen_range(0..config.rank_lwe.p))
+                    .collect();
+                uh.encrypt_query::<u64, _>(&key, &service.public_matrix(), &v, &mut rng)
+            })
+            .collect();
+
+        // Concurrent full-ciphertext answers through the plane equal
+        // the sequential service answers exactly.
+        let coalesced: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cts
+                .iter()
+                .map(|ct| {
+                    let plane = &plane;
+                    scope.spawn(move || {
+                        let (answer, _) = service.answer_via(ct, Some(plane));
+                        answer
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        for (ct, got) in cts.iter().zip(coalesced.iter()) {
+            let (sequential, _) = service.answer(ct);
+            assert_eq!(&sequential, got, "coalesced answers must be bit-identical");
+        }
+    }
+}

@@ -2,99 +2,21 @@
 //! throughput, we simulate running up to 19 clients … which generates
 //! enough load to saturate the servers"; Table 7's queries/s rows).
 //!
-//! Two pieces:
-//!
-//! - [`RankingCluster`] — the §4.3 coordinator/worker runtime over a
-//!   real message-passing pool ([`tiptoe_net::WorkerPool`]): ciphertext
-//!   chunks travel over channels to long-lived worker threads, partial
-//!   products return, and the coordinator sums them. Results are
-//!   bit-identical to the sequential [`RankingService::answer`].
-//! - [`measure_online_throughput`] — a closed-loop multi-client driver
-//!   that prefetches tokens, then hammers the online path and reports
-//!   sustained queries/s.
+//! The load generator runs `clients` concurrent closed-loop clients
+//! against the instance, either straight at the services (every query
+//! pays its own database scans) or through the serving plane
+//! ([`crate::serving::ServingPlane`]), where concurrently in-flight
+//! queries are coalesced into shared scans. Both modes return
+//! bit-identical results; only sustained queries/s and the latency
+//! distribution differ.
 
-use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tiptoe_corpus::synth::Corpus;
 use tiptoe_embed::Embedder;
-use tiptoe_lwe::LweCiphertext;
-use tiptoe_math::zq::Word;
-use tiptoe_net::WorkerPool;
 
 use crate::instance::TiptoeInstance;
-use crate::ranking::RankingService;
-
-/// A ranking service deployed across worker threads with channel-borne
-/// requests (the message-flow shape of the paper's 40-machine text
-/// deployment).
-pub struct RankingCluster {
-    service: Arc<RankingService>,
-    pool: WorkerPool<Vec<Vec<u64>>, Vec<Vec<u64>>>,
-}
-
-impl RankingCluster {
-    /// Spawns one worker thread per shard. Each worker answers whole
-    /// *batches* of ciphertext chunks per message via the batched
-    /// kernel ([`RankingService::shard_answer_many`]), so a shard row
-    /// is read from DRAM once per batch instead of once per query.
-    pub fn spawn(service: Arc<RankingService>) -> Self {
-        let for_pool = Arc::clone(&service);
-        let pool = WorkerPool::spawn(service.num_shards(), move |idx, chunks: Vec<Vec<u64>>| {
-            for_pool.shard_answer_many(idx, &chunks)
-        });
-        Self { service, pool }
-    }
-
-    /// Coordinator: splits the ciphertext by shard columns, fans the
-    /// chunks out over channels, and sums the partial answers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ciphertext dimension differs from `d·C`.
-    pub fn answer(&self, ct: &LweCiphertext<u64>) -> Vec<u64> {
-        self.answer_batch(std::slice::from_ref(ct)).pop().expect("one answer per ciphertext")
-    }
-
-    /// Batched coordinator: answers `B` concurrent queries in one
-    /// scatter/gather round. Each shard receives all `B` of its column
-    /// chunks in a single message and scans its matrix once for the
-    /// whole batch; every answer is bit-identical to the sequential
-    /// per-query path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any ciphertext dimension differs from `d·C`.
-    pub fn answer_batch(&self, cts: &[LweCiphertext<u64>]) -> Vec<Vec<u64>> {
-        if cts.is_empty() {
-            return Vec::new();
-        }
-        for ct in cts {
-            assert_eq!(ct.c.len(), self.service.upload_dim(), "ciphertext dimension mismatch");
-        }
-        let requests: Vec<Vec<Vec<u64>>> = (0..self.service.num_shards())
-            .map(|idx| {
-                let (start, end) = self.service.shard_columns(idx);
-                cts.iter().map(|ct| ct.c[start..end].to_vec()).collect()
-            })
-            .collect();
-        let parts = self.pool.scatter_gather(requests);
-        let mut totals = vec![vec![0u64; self.service.rows()]; cts.len()];
-        for shard_answers in parts {
-            for (total, part) in totals.iter_mut().zip(shard_answers.iter()) {
-                for (t, p) in total.iter_mut().zip(part.iter()) {
-                    *t = t.wadd(*p);
-                }
-            }
-        }
-        totals
-    }
-
-    /// Shuts down the worker threads.
-    pub fn shutdown(self) {
-        self.pool.shutdown();
-    }
-}
 
 /// Outcome of a throughput run.
 #[derive(Debug, Clone, Copy)]
@@ -105,13 +27,28 @@ pub struct ThroughputReport {
     pub wall: Duration,
     /// Sustained online queries per second.
     pub qps: f64,
+    /// Median per-query latency (client-observed, this process).
+    pub p50: Duration,
+    /// 95th-percentile per-query latency.
+    pub p95: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99: Duration,
+}
+
+/// Nearest-rank percentile over an unsorted latency sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Runs `clients` concurrent closed-loop clients, each issuing
 /// `queries_per_client` online searches with pre-fetched tokens, and
-/// reports the sustained rate. (Token prefetch is excluded from the
-/// measured window, matching the paper's split of token-generation and
-/// ranking throughput.)
+/// reports the sustained rate plus latency percentiles. (Token
+/// prefetch is excluded from the measured window, matching the
+/// paper's split of token-generation and ranking throughput.)
 ///
 /// # Panics
 ///
@@ -122,6 +59,34 @@ pub fn measure_online_throughput<E: Embedder + Send + Sync>(
     corpus: &Corpus,
     clients: usize,
     queries_per_client: usize,
+) -> ThroughputReport {
+    run_load(instance, corpus, clients, queries_per_client, false)
+}
+
+/// [`measure_online_throughput`] through the serving plane: the same
+/// closed-loop load, but every query's shard compute goes through the
+/// plane's batch coalescers, so concurrent clients share database
+/// scans. Results are bit-identical; this measures the speedup.
+///
+/// # Panics
+///
+/// Panics if `clients == 0`, `queries_per_client == 0`, or the corpus
+/// has no benchmark queries.
+pub fn measure_online_throughput_coalesced<E: Embedder + Send + Sync>(
+    instance: &TiptoeInstance<E>,
+    corpus: &Corpus,
+    clients: usize,
+    queries_per_client: usize,
+) -> ThroughputReport {
+    run_load(instance, corpus, clients, queries_per_client, true)
+}
+
+fn run_load<E: Embedder + Send + Sync>(
+    instance: &TiptoeInstance<E>,
+    corpus: &Corpus,
+    clients: usize,
+    queries_per_client: usize,
+    coalesced: bool,
 ) -> ThroughputReport {
     assert!(clients > 0 && queries_per_client > 0, "degenerate load");
     assert!(!corpus.queries.is_empty(), "no benchmark queries");
@@ -138,22 +103,42 @@ pub fn measure_online_throughput<E: Embedder + Send + Sync>(
         .collect();
 
     // Measured online phase: clients run concurrently.
+    let plane = coalesced.then(|| instance.serving_plane());
+    let latencies = Mutex::new(Vec::with_capacity(clients * queries_per_client));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for (i, client) in prepared.iter_mut().enumerate() {
             let queries = &corpus.queries;
+            let plane = plane.as_ref();
+            let latencies = &latencies;
             scope.spawn(move || {
+                let mut mine = Vec::with_capacity(queries_per_client);
                 for k in 0..queries_per_client {
                     let q = &queries[(i + k) % queries.len()];
-                    let results = client.search(instance, &q.text, 10);
+                    let t0 = Instant::now();
+                    let results = match plane {
+                        Some(plane) => client.search_served(instance, &q.text, 10, plane),
+                        None => client.search(instance, &q.text, 10),
+                    };
+                    mine.push(t0.elapsed());
                     std::hint::black_box(results);
                 }
+                latencies.lock().expect("latency lock").extend(mine);
             });
         }
     });
     let wall = start.elapsed();
     let queries = clients * queries_per_client;
-    ThroughputReport { queries, wall, qps: queries as f64 / wall.as_secs_f64() }
+    let mut sample = latencies.into_inner().expect("latency lock");
+    sample.sort_unstable();
+    ThroughputReport {
+        queries,
+        wall,
+        qps: queries as f64 / wall.as_secs_f64(),
+        p50: percentile(&sample, 0.50),
+        p95: percentile(&sample, 0.95),
+        p99: percentile(&sample, 0.99),
+    }
 }
 
 #[cfg(test)]
@@ -165,17 +150,16 @@ mod tests {
     use tiptoe_math::rng::seeded_rng;
     use tiptoe_underhood::ClientKey;
 
-    use crate::batch::run_batch_jobs;
     use crate::config::TiptoeConfig;
 
     #[test]
-    fn cluster_answers_match_sequential_service() {
+    fn plane_answers_match_sequential_service() {
         let corpus = generate(&CorpusConfig::small(150, 71), 0);
         let config = TiptoeConfig::test_small(150, 71);
         let embedder = TextEmbedder::new(config.d_embed, 71, 0);
-        let artifacts = run_batch_jobs(&config, &embedder, &corpus);
-        let service = Arc::new(RankingService::build(&config, &artifacts));
-        let cluster = RankingCluster::spawn(Arc::clone(&service));
+        let instance = TiptoeInstance::build(&config, embedder, &corpus);
+        let service = &instance.ranking;
+        let plane = instance.serving_plane();
 
         let mut rng = seeded_rng(1);
         let uh = service.underhood();
@@ -185,40 +169,29 @@ mod tests {
                 (0..service.upload_dim()).map(|_| rng.gen_range(0..config.rank_lwe.p)).collect();
             let ct = uh.encrypt_query::<u64, _>(&key, &service.public_matrix(), &v, &mut rng);
             let (sequential, _) = service.answer(&ct);
-            let concurrent = cluster.answer(&ct);
-            assert_eq!(sequential, concurrent, "cluster must be bit-identical");
+            let (coalesced, _) = service.answer_via(&ct, Some(&plane));
+            assert_eq!(sequential, coalesced, "plane must be bit-identical");
         }
-        cluster.shutdown();
     }
 
     #[test]
-    fn batched_cluster_answers_match_sequential_service() {
+    fn coalesced_searches_match_direct_searches() {
         let corpus = generate(&CorpusConfig::small(150, 73), 0);
         let config = TiptoeConfig::test_small(150, 73);
         let embedder = TextEmbedder::new(config.d_embed, 73, 0);
-        let artifacts = run_batch_jobs(&config, &embedder, &corpus);
-        let service = Arc::new(RankingService::build(&config, &artifacts));
-        let cluster = RankingCluster::spawn(Arc::clone(&service));
+        let instance = TiptoeInstance::build(&config, embedder, &corpus);
+        let plane = instance.serving_plane();
 
-        let mut rng = seeded_rng(2);
-        let uh = service.underhood();
-        let key = ClientKey::generate(uh, config.rank_lwe.n, &mut rng);
-        let cts: Vec<_> = (0..3)
-            .map(|_| {
-                let v: Vec<u64> = (0..service.upload_dim())
-                    .map(|_| rng.gen_range(0..config.rank_lwe.p))
-                    .collect();
-                uh.encrypt_query::<u64, _>(&key, &service.public_matrix(), &v, &mut rng)
-            })
-            .collect();
-        let batched = cluster.answer_batch(&cts);
-        assert_eq!(batched.len(), cts.len());
-        for (ct, got) in cts.iter().zip(batched.iter()) {
-            let (sequential, _) = service.answer(ct);
-            assert_eq!(&sequential, got, "batched answers must be bit-identical");
+        // Same client seed ⇒ same keys, tokens, and query randomness;
+        // the only difference is the serving mode.
+        let mut direct = instance.new_client(9);
+        let mut served = instance.new_client(9);
+        for q in corpus.queries.iter().take(2) {
+            let a = direct.search(&instance, &q.text, 10);
+            let b = served.search_served(&instance, &q.text, 10, &plane);
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.hits, b.hits, "coalesced search must be bit-identical");
         }
-        assert!(cluster.answer_batch(&[]).is_empty());
-        cluster.shutdown();
     }
 
     #[test]
@@ -231,5 +204,11 @@ mod tests {
         assert_eq!(report.queries, 4);
         assert!(report.qps > 0.0);
         assert!(report.wall > Duration::ZERO);
+        assert!(report.p50 <= report.p95 && report.p95 <= report.p99);
+        assert!(report.p99 > Duration::ZERO);
+
+        let coalesced = measure_online_throughput_coalesced(&instance, &corpus, 2, 2);
+        assert_eq!(coalesced.queries, 4);
+        assert!(coalesced.qps > 0.0);
     }
 }

@@ -6,12 +6,65 @@ use std::time::Duration;
 use tiptoe_lwe::{LweCiphertext, MatrixA};
 use tiptoe_math::rng::derive_seed;
 use tiptoe_math::wire::{WireError, WireReader, WireWriter};
-use tiptoe_net::{dispatch_faulty, timed, FaultPlan, FaultPolicy, FaultReport, ParallelTiming};
+use tiptoe_net::{
+    dispatch, timed, Dispatched, FaultPlan, FaultPolicy, Ledger, ParallelTiming, Service,
+};
 use tiptoe_pir::{PirDatabase, PirServer};
 use tiptoe_underhood::{EncryptedSecret, ExpandedSecret, QueryToken, Underhood};
 
 use crate::batch::IndexArtifacts;
 use crate::config::TiptoeConfig;
+use crate::serving::ServingPlane;
+
+/// The URL retrieval as a typed [`Service`]: a single "shard" (the
+/// PIR server) answers the query ciphertext, optionally through the
+/// serving plane's coalescing lane.
+struct UrlAnswer<'a> {
+    svc: &'a UrlService,
+    via: Option<&'a ServingPlane<'a>>,
+}
+
+impl Service for UrlAnswer<'_> {
+    type Request = LweCiphertext<u32>;
+    type Part = Vec<u32>;
+    type Response = Option<Vec<u32>>;
+
+    fn outer_span(&self) -> &'static str {
+        "url.answer"
+    }
+
+    fn shard_span(&self) -> &'static str {
+        "url.shard"
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn serve(&self, _idx: usize, ct: &LweCiphertext<u32>) -> Vec<u8> {
+        let answer = match self.via {
+            Some(plane) => plane.url_answer(ct.clone()),
+            None => self.svc.server.answer(ct),
+        };
+        let mut w = WireWriter::new();
+        w.put_u32_slice(&answer);
+        w.finish()
+    }
+
+    fn parse(&self, _idx: usize, payload: &[u8]) -> Result<Vec<u32>, WireError> {
+        let mut r = WireReader::new(payload);
+        let answer = r.get_u32_slice()?;
+        r.finish()?;
+        if answer.len() != self.svc.server.database().rows() {
+            return Err(WireError::Invalid("PIR answer has the wrong row count"));
+        }
+        Ok(answer)
+    }
+
+    fn combine(&self, mut parts: Vec<Option<Vec<u32>>>) -> Option<Vec<u32>> {
+        parts.pop().flatten()
+    }
+}
 
 /// The URL service: a PIR server over the compressed URL batches.
 pub struct UrlService {
@@ -70,51 +123,39 @@ impl UrlService {
     /// Panics if the ciphertext dimension differs from the record
     /// count.
     pub fn answer(&self, ct: &LweCiphertext<u32>) -> (Vec<u32>, ParallelTiming) {
-        let _span = tiptoe_obs::span("url.answer");
-        let (answer, wall) = timed(|| self.server.answer(ct));
-        (answer, ParallelTiming { wall, cpu: wall })
+        let d = self.dispatch_answer(ct, 0, &FaultPlan::none(), &FaultPolicy::default(), None, None);
+        (d.response.expect("healthy dispatch always answers"), d.timing)
     }
 
-    /// Fault-aware online query: the single URL server answers through
-    /// the checksummed envelope under `plan`'s faults (addressed as
-    /// shard `shard_base` so ranking and URL share one plan), with
-    /// `policy`'s timeouts, retries, and hedging. Returns `None` if the
-    /// server never delivers a verified answer within the deadline.
+    /// Answers a batch of PIR queries in one pass over the database
+    /// (bit-identical to per-query [`UrlService::answer`]); the
+    /// serving plane's coalescing lane flushes through this kernel.
+    pub fn answer_many(&self, cts: &[LweCiphertext<u32>], num_threads: usize) -> Vec<Vec<u32>> {
+        self.server.answer_many(cts, num_threads)
+    }
+
+    /// Dispatches an online PIR query through the typed service plane
+    /// ([`tiptoe_net::dispatch`]): transcript accounting via `ledger`,
+    /// fault handling under `plan`/`policy` (the server is addressed
+    /// as shard `shard_base` so ranking and URL share one plan), and
+    /// optional batch coalescing via the serving plane. The response
+    /// is `None` if the server never delivers a verified answer within
+    /// the deadline (impossible when the policy is disabled).
     ///
     /// # Panics
     ///
     /// Panics if the ciphertext dimension differs from the record
-    /// count or the policy is invalid.
-    pub fn answer_with_faults(
+    /// count or an enabled policy is invalid.
+    pub fn dispatch_answer(
         &self,
         ct: &LweCiphertext<u32>,
         shard_base: usize,
         plan: &FaultPlan,
         policy: &FaultPolicy,
-    ) -> (Option<Vec<u32>>, FaultReport) {
-        let _span = tiptoe_obs::span("url.answer");
-        let rows = self.server.database().rows();
-        let (mut answers, report) = dispatch_faulty(
-            std::slice::from_ref(&self.server),
-            shard_base,
-            plan,
-            policy,
-            |_, server| {
-                let mut w = WireWriter::new();
-                w.put_u32_slice(&server.answer(ct));
-                w.finish()
-            },
-            |_, bytes| {
-                let mut r = WireReader::new(bytes);
-                let answer = r.get_u32_slice()?;
-                r.finish()?;
-                if answer.len() != rows {
-                    return Err(WireError::Invalid("PIR answer has the wrong row count"));
-                }
-                Ok(answer)
-            },
-        );
-        (answers.pop().flatten(), report)
+        ledger: Option<&Ledger<'_>>,
+        via: Option<&ServingPlane<'_>>,
+    ) -> Dispatched<Option<Vec<u32>>> {
+        dispatch(&UrlAnswer { svc: self, via }, ct, shard_base, plan, policy, ledger)
     }
 
     /// Server-side storage.

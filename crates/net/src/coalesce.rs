@@ -1,0 +1,271 @@
+//! Cross-client batch coalescing (paper §8.1; Wally's cross-user
+//! batching): a per-shard scheduler that queues concurrently arriving
+//! requests and flushes them through a batched kernel, so `N`
+//! concurrent queries cost one database scan instead of `N`.
+//!
+//! The coalescer owns no threads. Submitters cooperate: whoever
+//! pushes the request that fills a batch flushes it inline (reason
+//! `full`); a submitter whose response has not arrived within the
+//! max-wait deadline flushes whatever is pending (reason `deadline`);
+//! and a submitter that finds the queue at its depth bound flushes
+//! before enqueueing (reason `overflow` — backpressure is paid by the
+//! overflowing submitter, not by unbounded memory). Every waiter
+//! re-arms its deadline after each flush, so progress is guaranteed:
+//! a request can only sit in the queue while *some* submitter is
+//! waiting on it, and that submitter's deadline drains the queue.
+//!
+//! Results are bit-identical to unbatched serving as long as the
+//! flush function is (the workspace's batched kernels guarantee it),
+//! because batch composition only groups independent requests — it
+//! never mixes their data.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs of one coalescing queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescePolicy {
+    /// Requests flushed together at most (the batched kernel's `B`).
+    pub max_batch: usize,
+    /// How long a submitter waits for co-batched requests before
+    /// flushing what is pending.
+    pub max_wait: Duration,
+    /// Queue-depth bound: a submitter finding this many requests
+    /// pending flushes them before enqueueing (backpressure).
+    pub queue_depth: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait: Duration::from_millis(2), queue_depth: 64 }
+    }
+}
+
+impl CoalescePolicy {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero batch size, a zero wait, or a queue bound
+    /// smaller than one batch.
+    pub fn validate(&self) {
+        assert!(self.max_batch >= 1, "coalescer batch size must be positive");
+        assert!(self.max_wait > Duration::ZERO, "coalescer max wait must be positive");
+        assert!(self.queue_depth >= self.max_batch, "queue depth must hold at least one batch");
+    }
+}
+
+/// Why a batch left the queue (span attribute + counter label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    /// The batch reached `max_batch`.
+    Full,
+    /// A waiter's `max_wait` deadline expired.
+    Deadline,
+    /// The queue hit `queue_depth`; the submitter drained it first.
+    Overflow,
+}
+
+impl FlushReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Overflow => "overflow",
+        }
+    }
+}
+
+/// One queued request: its payload, the channel its response returns
+/// on, and when it arrived (for queue-wait accounting).
+struct Pending<Req, Resp> {
+    req: Req,
+    reply: mpsc::Sender<Resp>,
+    enqueued: Instant,
+}
+
+/// A batching scheduler in front of a batched kernel: concurrent
+/// [`Coalescer::submit`] calls are grouped and answered by one
+/// `flush` invocation per batch.
+///
+/// `flush` receives the batch's requests in queue order and must
+/// return exactly one response per request, in the same order.
+pub struct Coalescer<'a, Req, Resp> {
+    policy: CoalescePolicy,
+    queue: Mutex<VecDeque<Pending<Req, Resp>>>,
+    #[allow(clippy::type_complexity)]
+    flush: Box<dyn Fn(Vec<Req>) -> Vec<Resp> + Send + Sync + 'a>,
+}
+
+impl<'a, Req: Send, Resp: Send> Coalescer<'a, Req, Resp> {
+    /// Creates a coalescer over a batched kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn new(
+        policy: CoalescePolicy,
+        flush: impl Fn(Vec<Req>) -> Vec<Resp> + Send + Sync + 'a,
+    ) -> Self {
+        policy.validate();
+        Self { policy, queue: Mutex::new(VecDeque::new()), flush: Box::new(flush) }
+    }
+
+    /// The policy this coalescer runs under.
+    pub fn policy(&self) -> CoalescePolicy {
+        self.policy
+    }
+
+    /// Submits one request and blocks until its response arrives —
+    /// either from a batch this thread flushed or from one a
+    /// co-submitter flushed.
+    pub fn submit(&self, req: Req) -> Resp {
+        let (tx, rx) = mpsc::channel();
+        let overflowing =
+            self.queue.lock().expect("coalescer queue lock").len() >= self.policy.queue_depth;
+        if overflowing {
+            tiptoe_obs::metrics().counter("net.coalesce.backpressure").inc();
+            self.flush_pending(FlushReason::Overflow);
+        }
+        let filled = {
+            let mut q = self.queue.lock().expect("coalescer queue lock");
+            q.push_back(Pending { req, reply: tx, enqueued: Instant::now() });
+            q.len() >= self.policy.max_batch
+        };
+        if filled {
+            self.flush_pending(FlushReason::Full);
+        }
+        loop {
+            match rx.recv_timeout(self.policy.max_wait) {
+                Ok(resp) => return resp,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Our request (or the batch ahead of it) has waited
+                    // out the deadline: drain whatever is pending.
+                    self.flush_pending(FlushReason::Deadline);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("coalescer dropped a pending reply channel")
+                }
+            }
+        }
+    }
+
+    /// Drains up to one batch from the queue and runs the batched
+    /// kernel on it (outside the lock, so co-submitters keep
+    /// enqueueing — and other batches keep flushing — concurrently).
+    fn flush_pending(&self, reason: FlushReason) {
+        let batch: Vec<Pending<Req, Resp>> = {
+            let mut q = self.queue.lock().expect("coalescer queue lock");
+            let take = q.len().min(self.policy.max_batch);
+            q.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let mut span = tiptoe_obs::span("net.coalesce.flush");
+        let m = tiptoe_obs::metrics();
+        let queue_wait_us =
+            batch.iter().map(|p| p.enqueued.elapsed().as_micros() as u64).max().unwrap_or(0);
+        if tiptoe_obs::enabled() {
+            span.set_label(reason.as_str());
+        }
+        span.attr_u64("batch", batch.len() as u64);
+        span.attr_u64("queue_wait_us", queue_wait_us);
+        m.histogram("net.coalesce.batch_size").record(batch.len() as u64);
+        m.histogram("net.coalesce.queue_wait_us").record(queue_wait_us);
+        m.counter_with("net.coalesce.flushes", Some(reason.as_str().into())).inc();
+
+        let (reqs, replies): (Vec<Req>, Vec<mpsc::Sender<Resp>>) =
+            batch.into_iter().map(|p| (p.req, p.reply)).unzip();
+        let n = reqs.len();
+        let resps = (self.flush)(reqs);
+        assert_eq!(resps.len(), n, "batched kernel must answer every request");
+        for (reply, resp) in replies.iter().zip(resps) {
+            // A receiver can only be gone if the submitter panicked;
+            // the rest of the batch must still be delivered.
+            let _ = reply.send(resp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_submit_round_trips() {
+        let c = Coalescer::new(CoalescePolicy::default(), |reqs: Vec<u64>| {
+            reqs.into_iter().map(|r| r * 2).collect()
+        });
+        assert_eq!(c.submit(21), 42);
+    }
+
+    #[test]
+    fn concurrent_submits_share_flushes_and_keep_order() {
+        let flushes = AtomicUsize::new(0);
+        let policy = CoalescePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            queue_depth: 64,
+        };
+        let c = Coalescer::new(policy, |reqs: Vec<u64>| {
+            flushes.fetch_add(1, Ordering::Relaxed);
+            reqs.into_iter().map(|r| r + 1000).collect()
+        });
+        std::thread::scope(|scope| {
+            for i in 0..16u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    assert_eq!(c.submit(i), i + 1000, "response matched to its request");
+                });
+            }
+        });
+        // 16 requests, batches of up to 8: at least 2 flushes, and
+        // (the point of coalescing) far fewer than 16.
+        let n = flushes.load(Ordering::Relaxed);
+        assert!(n >= 2, "{n} flushes");
+        assert!(n <= 16, "{n} flushes");
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batches() {
+        let policy = CoalescePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            queue_depth: 64,
+        };
+        let c = Coalescer::new(policy, |reqs: Vec<u64>| reqs);
+        let start = Instant::now();
+        // Alone in the queue: nobody else fills the batch, so the
+        // submitter's own deadline flushes it.
+        assert_eq!(c.submit(9), 9);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn overflow_applies_backpressure_by_flushing() {
+        let policy =
+            CoalescePolicy { max_batch: 2, max_wait: Duration::from_millis(50), queue_depth: 2 };
+        let c = Coalescer::new(policy, |reqs: Vec<u64>| reqs);
+        std::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let c = &c;
+                scope.spawn(move || assert_eq!(c.submit(i), i));
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        for bad in [
+            CoalescePolicy { max_batch: 0, ..CoalescePolicy::default() },
+            CoalescePolicy { max_wait: Duration::ZERO, ..CoalescePolicy::default() },
+            CoalescePolicy { max_batch: 8, queue_depth: 4, ..CoalescePolicy::default() },
+        ] {
+            assert!(std::panic::catch_unwind(move || bad.validate()).is_err(), "{bad:?}");
+        }
+    }
+}

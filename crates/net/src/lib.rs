@@ -20,14 +20,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coalesce;
 pub mod fault;
 pub mod pool;
+pub mod service;
 
+pub use coalesce::{CoalescePolicy, Coalescer};
 pub use fault::{
     dispatch_faulty, open, seal, shard_response_histogram, FaultKind, FaultPlan, FaultPolicy,
     FaultRates, FaultReport, ShardReport,
 };
 pub use pool::WorkerPool;
+pub use service::{dispatch, Dispatched, Ledger, Service};
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -165,6 +169,33 @@ impl Transcript {
     /// Clears the ledger (e.g. between measured queries).
     pub fn reset(&self) {
         self.entries.lock().expect("transcript lock").clear();
+    }
+
+    /// Attributes one recorded message's bytes across the clusters it
+    /// served, into the `net.cluster_bytes_up`/`net.cluster_bytes_down`
+    /// metric counters labeled `c<idx>` — a *mirror-only* attribution
+    /// (the exact per-phase ledger stays the source of truth). The
+    /// split is exact: `bytes/n` per cluster with the remainder going
+    /// to the lowest-indexed clusters, so the per-cluster counters sum
+    /// to the phase totals byte-for-byte.
+    pub fn attribute_clusters(&self, dir: Direction, clusters: (usize, usize), bytes: u64) {
+        let (lo, hi) = clusters;
+        if hi <= lo {
+            return;
+        }
+        let name = match dir {
+            Direction::Upload => "net.cluster_bytes_up",
+            Direction::Download => "net.cluster_bytes_down",
+        };
+        let n = (hi - lo) as u64;
+        let base = bytes / n;
+        let rem = bytes % n;
+        for (i, c) in (lo..hi).enumerate() {
+            let share = base + u64::from((i as u64) < rem);
+            if share > 0 {
+                tiptoe_obs::metrics().counter_with(name, Some(format!("c{c}"))).add(share);
+            }
+        }
     }
 }
 

@@ -1,0 +1,325 @@
+//! The typed service plane: one dispatch engine for every
+//! request/response service in the deployment.
+//!
+//! The repo had grown four drifting serving paths — the healthy
+//! fan-out, the fault-aware fan-out, the worker-pool cluster
+//! coordinator, and the batched throughput driver — each
+//! re-implementing dispatch, transcript accounting, fault handling,
+//! and span instrumentation. This module collapses them into one code
+//! path:
+//!
+//! - [`Service`] — a typed shard service: how many shards it has, how
+//!   a shard serializes its answer to the wire, how the coordinator
+//!   parses and combines the parts.
+//! - [`Ledger`] — the transcript-accounting middleware: exact
+//!   per-phase upload/download bytes (mirrored into the metrics
+//!   registry by [`crate::Transcript`]) plus per-cluster byte
+//!   attribution when the service maps shards onto clusters.
+//! - [`dispatch`] — the engine. Policy knobs select the behavior:
+//!   with `policy.enabled == false` it runs the healthy
+//!   [`crate::simulate_parallel`] fan-out (per-shard spans named by
+//!   the service, no envelope, bit-identical to the historical
+//!   `answer` paths); with `policy.enabled == true` every response
+//!   crosses the checksummed `TPT1` envelope under
+//!   [`crate::dispatch_faulty`]'s timeouts, retries, and hedging.
+//!
+//! Batch coalescing composes *underneath* this plane: a service's
+//! `serve` may route its shard computation through a
+//! [`crate::Coalescer`], so concurrently dispatched requests share one
+//! database scan while accounting, faults, and spans stay per-request.
+
+use tiptoe_math::wire::WireError;
+
+use crate::{
+    dispatch_faulty, simulate_parallel, Direction, FaultPlan, FaultPolicy, FaultReport,
+    ParallelTiming, Phase, Transcript,
+};
+
+/// A typed, sharded request/response service.
+///
+/// Implementations describe *what* each shard computes and how it
+/// crosses the wire; [`dispatch`] decides *how* it runs (healthy or
+/// fault-aware, sequential or coalesced) and layers accounting and
+/// spans around it.
+pub trait Service {
+    /// The per-query request (e.g. a query ciphertext).
+    type Request: ?Sized;
+    /// One shard's parsed partial answer.
+    type Part;
+    /// The combined response the coordinator returns.
+    type Response;
+
+    /// Name of the span wrapping the whole fan-out (e.g. `rank.answer`).
+    fn outer_span(&self) -> &'static str;
+
+    /// Name of the healthy per-shard span (e.g. `rank.shard`, labeled
+    /// with the shard index). The fault-aware path uses `net.shard`
+    /// spans from [`dispatch_faulty`] instead, which carry
+    /// attempt/hedge accounting.
+    fn shard_span(&self) -> &'static str;
+
+    /// Number of worker shards.
+    fn num_shards(&self) -> usize;
+
+    /// Computes shard `idx`'s answer and serializes it as a wire
+    /// payload (sealed in the checksummed envelope on the fault-aware
+    /// path).
+    fn serve(&self, idx: usize, req: &Self::Request) -> Vec<u8>;
+
+    /// Parses and validates one shard's payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated, malformed, or
+    /// wrong-shaped payloads (the fault-aware path retries these).
+    fn parse(&self, idx: usize, payload: &[u8]) -> Result<Self::Part, WireError>;
+
+    /// Combines the per-shard parts into the response. Failed shards
+    /// appear as `None` and must degrade gracefully (contribute
+    /// nothing).
+    fn combine(&self, parts: Vec<Option<Self::Part>>) -> Self::Response;
+
+    /// The contiguous cluster range `[lo, hi)` this service covers,
+    /// if its shards partition a cluster space — enables per-cluster
+    /// byte attribution in the metrics mirror.
+    fn cluster_range(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Transcript-accounting middleware for one dispatched phase.
+///
+/// Upload and download sizes are *fixed by the protocol shape*, never
+/// by the outcome: a degraded query must keep the same observable wire
+/// footprint as a healthy one (the privacy argument extends to
+/// traffic analysis), so the caller supplies both sizes up front.
+#[derive(Debug)]
+pub struct Ledger<'a> {
+    /// The ledger to record into.
+    pub transcript: &'a Transcript,
+    /// Phase of the request/response pair.
+    pub phase: Phase,
+    /// Phase charged for wasted (retried/hedged) response bytes.
+    pub retry_phase: Phase,
+    /// Exact request upload bytes.
+    pub up_bytes: u64,
+    /// Exact response download bytes (outcome-independent).
+    pub down_bytes: u64,
+}
+
+/// Outcome of one dispatched fan-out.
+#[derive(Debug)]
+pub struct Dispatched<R> {
+    /// The combined response.
+    pub response: R,
+    /// `survivors[w]` is true iff shard `w` delivered a verified
+    /// answer (all true on the healthy path).
+    pub survivors: Vec<bool>,
+    /// Virtual timing: `wall` = slowest shard, `cpu` = summed work.
+    pub timing: ParallelTiming,
+    /// Retry/timeout/hedge accounting; `Some` iff the fault-aware
+    /// path ran (i.e. `policy.enabled`).
+    pub report: Option<FaultReport>,
+}
+
+/// Dispatches one request through a [`Service`]: accounting, spans,
+/// fan-out, and fault recovery in one place.
+///
+/// Middleware order (outermost first): upload accounting →
+/// outer span → per-shard fan-out (healthy or fault-aware) →
+/// combine → download + retry accounting.
+///
+/// `shard_base` offsets the fault plan's shard address space so
+/// several services can share one plan (ranking takes `0..W`, the URL
+/// server `W`).
+///
+/// # Panics
+///
+/// Panics if an enabled policy is invalid, or (healthy path only) if
+/// a shard's own payload fails its own parser — that is a programming
+/// error, not a fault.
+pub fn dispatch<S: Service>(
+    svc: &S,
+    req: &S::Request,
+    shard_base: usize,
+    plan: &FaultPlan,
+    policy: &FaultPolicy,
+    ledger: Option<&Ledger<'_>>,
+) -> Dispatched<S::Response> {
+    if let Some(l) = ledger {
+        l.transcript.record_up(l.phase, l.up_bytes);
+        if let Some(range) = svc.cluster_range() {
+            l.transcript.attribute_clusters(Direction::Upload, range, l.up_bytes);
+        }
+    }
+
+    let _outer = tiptoe_obs::span(svc.outer_span());
+    let shard_ids: Vec<usize> = (0..svc.num_shards()).collect();
+    let (parts, survivors, timing, report) = if policy.enabled {
+        let (parts, report) = dispatch_faulty(
+            &shard_ids,
+            shard_base,
+            plan,
+            policy,
+            |idx, _| svc.serve(idx, req),
+            |idx, payload| svc.parse(idx, payload),
+        );
+        let survivors: Vec<bool> = parts.iter().map(Option::is_some).collect();
+        let timing = report.timing;
+        (parts, survivors, timing, Some(report))
+    } else {
+        let (parts, timing) = simulate_parallel(&shard_ids, |&idx| {
+            let mut span = tiptoe_obs::span(svc.shard_span());
+            if tiptoe_obs::enabled() {
+                span.set_label(format!("{idx}"));
+            }
+            let payload = svc.serve(idx, req);
+            svc.parse(idx, &payload).expect("healthy shard payload must parse")
+        });
+        let survivors = vec![true; parts.len()];
+        (parts.into_iter().map(Some).collect(), survivors, timing, None)
+    };
+    let response = svc.combine(parts);
+
+    if let Some(l) = ledger {
+        l.transcript.record_down(l.phase, l.down_bytes);
+        if let Some(range) = svc.cluster_range() {
+            l.transcript.attribute_clusters(Direction::Download, range, l.down_bytes);
+        }
+        if let Some(r) = &report {
+            if r.wasted_response_bytes > 0 {
+                l.transcript.record_down(l.retry_phase, r.wasted_response_bytes);
+            }
+        }
+    }
+
+    Dispatched { response, survivors, timing, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiptoe_math::wire::{WireReader, WireWriter};
+
+    /// A toy service: shard `w` answers `base + w`, the coordinator
+    /// sums.
+    struct SumService {
+        shards: usize,
+        base: u64,
+        clusters: Option<(usize, usize)>,
+    }
+
+    impl Service for SumService {
+        type Request = u64;
+        type Part = u64;
+        type Response = u64;
+
+        fn outer_span(&self) -> &'static str {
+            "test.sum"
+        }
+
+        fn shard_span(&self) -> &'static str {
+            "test.sum_shard"
+        }
+
+        fn num_shards(&self) -> usize {
+            self.shards
+        }
+
+        fn serve(&self, idx: usize, req: &u64) -> Vec<u8> {
+            let mut w = WireWriter::new();
+            w.put_u64(self.base + idx as u64 + req);
+            w.finish()
+        }
+
+        fn parse(&self, _idx: usize, payload: &[u8]) -> Result<u64, WireError> {
+            let mut r = WireReader::new(payload);
+            let v = r.get_u64()?;
+            r.finish()?;
+            Ok(v)
+        }
+
+        fn combine(&self, parts: Vec<Option<u64>>) -> u64 {
+            parts.into_iter().flatten().sum()
+        }
+
+        fn cluster_range(&self) -> Option<(usize, usize)> {
+            self.clusters
+        }
+    }
+
+    #[test]
+    fn healthy_and_faulty_paths_agree_on_benign_plans() {
+        let svc = SumService { shards: 4, base: 100, clusters: None };
+        let healthy =
+            dispatch(&svc, &1, 0, &FaultPlan::none(), &FaultPolicy::default(), None);
+        let faulty =
+            dispatch(&svc, &1, 0, &FaultPlan::none(), &FaultPolicy::tolerant(), None);
+        assert_eq!(healthy.response, 101 + 102 + 103 + 104);
+        assert_eq!(healthy.response, faulty.response);
+        assert_eq!(healthy.survivors, vec![true; 4]);
+        assert_eq!(faulty.survivors, vec![true; 4]);
+        assert!(healthy.report.is_none());
+        assert!(faulty.report.expect("faulty path reports").all_ok());
+    }
+
+    #[test]
+    fn failed_shards_degrade_the_combine_and_report() {
+        let svc = SumService { shards: 3, base: 10, clusters: None };
+        let plan = FaultPlan::none().crash_shard(1);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let d = dispatch(&svc, &0, 0, &plan, &policy, None);
+        assert_eq!(d.response, 10 + 12, "crashed shard contributes nothing");
+        assert_eq!(d.survivors, vec![true, false, true]);
+        let report = d.report.expect("report");
+        assert_eq!(report.failed_shards(), vec![1]);
+        assert!(d.timing.wall >= policy.attempt_timeout);
+    }
+
+    #[test]
+    fn ledger_records_fixed_sizes_and_retry_bytes() {
+        let t = Transcript::new();
+        let svc = SumService { shards: 2, base: 0, clusters: None };
+        let ledger = Ledger {
+            transcript: &t,
+            phase: Phase::Ranking,
+            retry_phase: Phase::RankingRetries,
+            up_bytes: 640,
+            down_bytes: 320,
+        };
+        // A corrupt first response wastes bytes into the retry phase.
+        let plan = FaultPlan::none().with_fault(0, 0, crate::FaultKind::Corrupt);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let d = dispatch(&svc, &7, 0, &plan, &policy, Some(&ledger));
+        assert_eq!(d.response, 7 + 8);
+        assert_eq!(t.phase_total(Phase::Ranking, Direction::Upload), 640);
+        assert_eq!(t.phase_total(Phase::Ranking, Direction::Download), 320);
+        assert_eq!(
+            t.phase_total(Phase::RankingRetries, Direction::Download),
+            d.report.expect("report").wasted_response_bytes
+        );
+    }
+
+    #[test]
+    fn cluster_attribution_splits_bytes_exactly() {
+        let t = Transcript::new();
+        let svc = SumService { shards: 2, base: 0, clusters: Some((40, 43)) };
+        let ledger = Ledger {
+            transcript: &t,
+            phase: Phase::Ranking,
+            retry_phase: Phase::RankingRetries,
+            up_bytes: 10,
+            down_bytes: 0,
+        };
+        dispatch(&svc, &0, 0, &FaultPlan::none(), &FaultPolicy::default(), Some(&ledger));
+        let m = tiptoe_obs::metrics();
+        let per_cluster: Vec<u64> = (40..43)
+            .map(|c| m.counter_with("net.cluster_bytes_up", Some(format!("c{c}"))).get())
+            .collect();
+        // 10 bytes over 3 clusters: 4 + 3 + 3, summing exactly.
+        assert_eq!(per_cluster.iter().sum::<u64>(), 10);
+        assert!(per_cluster.iter().all(|&b| b == 3 || b == 4), "{per_cluster:?}");
+    }
+}

@@ -92,12 +92,16 @@ fn sibling(path: &Path, ext: &str) -> std::path::PathBuf {
     path.with_file_name(format!("{stem}.{ext}"))
 }
 
-/// Writes the three artifacts for the given spans: the Chrome trace
-/// at `path`, the metrics snapshot at `<stem>.metrics.json`, and the
-/// folded stacks at `<stem>.folded`.
+/// Writes the four artifacts for the given spans: the Chrome trace
+/// at `path`, the metrics snapshot at `<stem>.metrics.json` (and as
+/// OpenMetrics text at `<stem>.metrics.prom`, scrapeable by any
+/// Prometheus-compatible collector), and the folded stacks at
+/// `<stem>.folded`.
 pub fn write_artifacts(path: &Path, spans: &[SpanRecord]) -> std::io::Result<()> {
+    let snapshot = metrics().snapshot();
     std::fs::write(path, chrome_trace_json(spans))?;
-    std::fs::write(sibling(path, "metrics.json"), metrics().snapshot().to_json())?;
+    std::fs::write(sibling(path, "metrics.json"), snapshot.to_json())?;
+    std::fs::write(sibling(path, "metrics.prom"), snapshot.to_openmetrics())?;
     std::fs::write(sibling(path, "folded"), folded_stacks(spans))?;
     Ok(())
 }
@@ -168,7 +172,7 @@ mod tests {
     }
 
     #[test]
-    fn write_artifacts_emits_three_files() {
+    fn write_artifacts_emits_four_files() {
         // Keep test artifacts inside the workspace's target directory.
         let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../../target")
@@ -179,6 +183,8 @@ mod tests {
         assert!(path.exists());
         assert!(dir.join("trace.metrics.json").exists());
         assert!(dir.join("trace.folded").exists());
+        let prom = std::fs::read_to_string(dir.join("trace.metrics.prom")).expect("prom");
+        assert!(prom.ends_with("# EOF\n"), "{prom}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

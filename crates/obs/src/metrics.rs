@@ -215,6 +215,70 @@ impl MetricsSnapshot {
         out.push_str("\n  }\n}\n");
         out
     }
+
+    /// OpenMetrics text rendering (the Prometheus exposition format):
+    /// counters become `_total` samples, gauges stay gauges, and
+    /// histograms export as summaries (`quantile` labels plus
+    /// `_count`/`_sum`). Display keys like `net.bytes_up[ranking]`
+    /// map to `net_bytes_up_total{label="ranking"}`. Ends with the
+    /// mandatory `# EOF` terminator.
+    pub fn to_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+        /// Metric names allow `[a-zA-Z0-9_:]`; everything else
+        /// (dots, dashes) becomes `_`.
+        fn metric_name(s: &str) -> String {
+            s.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+        }
+        /// Splits a display key `name[label]` into the sanitized
+        /// metric name and an optional `{label="..."}` selector.
+        fn split_key(key: &str, extra: Option<(&str, &str)>) -> (String, String) {
+            let (name, label) = match key.split_once('[') {
+                Some((name, rest)) => (name, rest.strip_suffix(']')),
+                None => (key, None),
+            };
+            let mut pairs = Vec::new();
+            if let Some(l) = label {
+                pairs.push(format!("label=\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")));
+            }
+            if let Some((k, v)) = extra {
+                pairs.push(format!("{k}=\"{v}\""));
+            }
+            let selector =
+                if pairs.is_empty() { String::new() } else { format!("{{{}}}", pairs.join(",")) };
+            (metric_name(name), selector)
+        }
+        let mut out = String::new();
+        let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (key, v) in &self.counters {
+            let (name, selector) = split_key(key, None);
+            if typed.insert(name.clone()) {
+                let _ = writeln!(out, "# TYPE {name} counter");
+            }
+            let _ = writeln!(out, "{name}_total{selector} {v}");
+        }
+        for (key, v) in &self.gauges {
+            let (name, selector) = split_key(key, None);
+            if typed.insert(name.clone()) {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+            }
+            let _ = writeln!(out, "{name}{selector} {v}");
+        }
+        for h in &self.histograms {
+            let (name, _) = split_key(&h.name, None);
+            if typed.insert(name.clone()) {
+                let _ = writeln!(out, "# TYPE {name} summary");
+            }
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                let (_, selector) = split_key(&h.name, Some(("quantile", q)));
+                let _ = writeln!(out, "{name}{selector} {v}");
+            }
+            let (_, selector) = split_key(&h.name, None);
+            let _ = writeln!(out, "{name}_count{selector} {}", h.count);
+            let _ = writeln!(out, "{name}_sum{selector} {}", h.sum);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
 }
 
 fn display_key(key: &Key) -> String {
@@ -408,6 +472,28 @@ mod tests {
         assert!(json.contains("\"a.count\": 2"), "{json}");
         assert!(json.contains("\"b.gauge[s1]\": 1.5"), "{json}");
         assert!(json.contains("\"c.hist\""), "{json}");
+    }
+
+    #[test]
+    fn snapshot_renders_openmetrics() {
+        let r = Registry::default();
+        r.counter_with("net.bytes_up", Some("ranking".into())).add(7);
+        r.counter("net.bytes_up").add(9);
+        r.gauge("lwe.noise_budget").set(12.5);
+        r.histogram("net.coalesce.batch_size").record(4);
+        let text = r.snapshot().to_openmetrics();
+        assert!(text.contains("# TYPE net_bytes_up counter"), "{text}");
+        assert!(text.contains("net_bytes_up_total 9"), "{text}");
+        assert!(text.contains("net_bytes_up_total{label=\"ranking\"} 7"), "{text}");
+        assert!(text.contains("# TYPE lwe_noise_budget gauge"), "{text}");
+        assert!(text.contains("lwe_noise_budget 12.5"), "{text}");
+        assert!(text.contains("# TYPE net_coalesce_batch_size summary"), "{text}");
+        assert!(text.contains("net_coalesce_batch_size{quantile=\"0.5\"} 4"), "{text}");
+        assert!(text.contains("net_coalesce_batch_size_count 1"), "{text}");
+        assert!(text.contains("net_coalesce_batch_size_sum 4"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        // One TYPE line per metric family, even with many series.
+        assert_eq!(text.matches("# TYPE net_bytes_up counter").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Serving-plane integration tests: cross-client batch coalescing
+//! must be invisible in results — bit-identical to sequential serving
+//! at every batch size, with or without injected faults.
+
+use rand::Rng;
+use tiptoe_core::config::TiptoeConfig;
+use tiptoe_core::instance::TiptoeInstance;
+use tiptoe_corpus::synth::{generate, Corpus, CorpusConfig};
+use tiptoe_embed::text::TextEmbedder;
+use tiptoe_math::rng::seeded_rng;
+use tiptoe_net::{FaultPlan, FaultPolicy};
+use tiptoe_underhood::ClientKey;
+
+const SEED: u64 = 83;
+const DOCS: usize = 200;
+const SHARDS: usize = 4;
+
+fn build(policy: Option<FaultPolicy>) -> (Corpus, TiptoeInstance<TextEmbedder>) {
+    let corpus = generate(&CorpusConfig::small(DOCS, SEED), 24);
+    let mut config = TiptoeConfig::test_small(DOCS, SEED);
+    config.num_shards = SHARDS;
+    if let Some(p) = policy {
+        config.fault_policy = p;
+    }
+    config.validate();
+    let embedder = TextEmbedder::new(config.d_embed, SEED, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    (corpus, instance)
+}
+
+/// Concurrent ciphertext-level answers through the plane equal the
+/// sequential service answers exactly, at batch sizes around, at, and
+/// beyond the coalescer's `max_batch`.
+#[test]
+fn coalesced_answers_are_bit_identical_at_every_batch_size() {
+    let (_, instance) = build(None);
+    let service = &instance.ranking;
+    let mut rng = seeded_rng(5);
+    let uh = service.underhood();
+    let key = ClientKey::generate(uh, instance.config.rank_lwe.n, &mut rng);
+    for batch in [1usize, 3, 19] {
+        let cts: Vec<_> = (0..batch)
+            .map(|_| {
+                let v: Vec<u64> = (0..service.upload_dim())
+                    .map(|_| rng.gen_range(0..instance.config.rank_lwe.p))
+                    .collect();
+                uh.encrypt_query::<u64, _>(&key, &service.public_matrix(), &v, &mut rng)
+            })
+            .collect();
+        let plane = instance.serving_plane();
+        let coalesced: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cts
+                .iter()
+                .map(|ct| {
+                    let plane = &plane;
+                    scope.spawn(move || service.answer_via(ct, Some(plane)).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        for (ct, got) in cts.iter().zip(&coalesced) {
+            let (sequential, _) = service.answer(ct);
+            assert_eq!(&sequential, got, "batch size {batch} must be bit-identical");
+        }
+    }
+}
+
+/// Full end-to-end searches through the plane return the same hits,
+/// clusters, and wire footprint as direct searches with the same
+/// client seed.
+#[test]
+fn served_searches_match_direct_searches_end_to_end() {
+    let (corpus, instance) = build(None);
+    let plane = instance.serving_plane();
+    // Same seed ⇒ same keys, tokens, and query randomness; the only
+    // difference is the serving mode.
+    let mut direct = instance.new_client(11);
+    let mut served = instance.new_client(11);
+    for q in corpus.queries.iter().take(3) {
+        let a = direct.search(&instance, &q.text, 10);
+        let b = served.search_served(&instance, &q.text, 10, &plane);
+        assert_eq!(a.cluster, b.cluster, "cluster drifted: {}", q.text);
+        assert_eq!(a.hits, b.hits, "hits drifted: {}", q.text);
+        assert_eq!(a.cost.rank_up, b.cost.rank_up);
+        assert_eq!(a.cost.rank_down, b.cost.rank_down);
+        assert_eq!(a.cost.url_up, b.cost.url_up);
+        assert_eq!(a.cost.url_down, b.cost.url_down);
+    }
+}
+
+/// Nineteen concurrent clients through the plane (well past
+/// `max_batch`, so flushes mix requests from different clients) each
+/// get exactly the result they would have gotten alone.
+#[test]
+fn concurrent_served_searches_stay_bit_identical() {
+    let (corpus, instance) = build(None);
+    let clients = 19usize;
+    let expect: Vec<_> = (0..clients)
+        .map(|i| {
+            let mut c = instance.new_client(100 + i as u64);
+            let q = &corpus.queries[i % corpus.queries.len()];
+            let r = c.search(&instance, &q.text, 10);
+            (r.cluster, r.hits)
+        })
+        .collect();
+    let plane = instance.serving_plane();
+    let got: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let (plane, corpus, instance) = (&plane, &corpus, &instance);
+                scope.spawn(move || {
+                    let mut c = instance.new_client(100 + i as u64);
+                    let q = &corpus.queries[i % corpus.queries.len()];
+                    let r = c.search_served(instance, &q.text, 10, plane);
+                    (r.cluster, r.hits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    assert_eq!(expect, got, "coalesced fleet must match sequential clients");
+}
+
+/// Coalescing composes with fault injection: under a seeded plan with
+/// a crashed shard, served searches degrade exactly like unserved
+/// ones — same hits, same missing clusters, same failed shards.
+#[test]
+fn served_faulty_searches_match_unserved_faulty_searches() {
+    let (corpus, instance) = build(Some(FaultPolicy::tolerant()));
+    let crashed = 2usize;
+    let plan = FaultPlan::none().crash_shard(crashed);
+    let plane = instance.serving_plane();
+    let mut unserved = instance.new_client(21);
+    let mut served = instance.new_client(21);
+    for q in corpus.queries.iter().take(2) {
+        let a = unserved.search_with_faults(&instance, &q.text, 10, &plan);
+        let b = served.search_served_with_faults(&instance, &q.text, 10, &plan, &plane);
+        assert_eq!(a.cluster, b.cluster);
+        assert_eq!(a.hits, b.hits, "degraded hits drifted: {}", q.text);
+        let da = a.degraded.expect("fault-tolerant searches report state");
+        let db = b.degraded.expect("fault-tolerant searches report state");
+        assert_eq!(da.missing_clusters, db.missing_clusters);
+        assert_eq!(da.searched_cluster_missing, db.searched_cluster_missing);
+        let (lo, hi) = instance.ranking.shard_clusters(crashed);
+        assert_eq!(db.missing_clusters, (lo..hi).collect::<Vec<_>>());
+        assert_eq!(da.rank_report.failed_shards(), vec![crashed]);
+        assert_eq!(db.rank_report.failed_shards(), vec![crashed]);
+    }
+}
+
+/// Benign-plan parity on the served fault-tolerant path: with nothing
+/// failing, coalesced degraded-mode searches equal plain searches.
+#[test]
+fn served_benign_plan_is_bit_identical_to_plain_search() {
+    let (corpus, plain) = build(None);
+    let (_, tolerant) = build(Some(FaultPolicy::tolerant()));
+    let plane = tolerant.serving_plane();
+    let mut a = plain.new_client(31);
+    let mut b = tolerant.new_client(31);
+    let q = &corpus.queries[0];
+    let ra = a.search(&plain, &q.text, 10);
+    let rb = b.search_served_with_faults(&tolerant, &q.text, 10, &FaultPlan::none(), &plane);
+    assert_eq!(ra.cluster, rb.cluster);
+    assert_eq!(ra.hits, rb.hits);
+    let db = rb.degraded.expect("reports even when healthy");
+    assert!(db.missing_clusters.is_empty());
+    assert!(db.rank_report.all_ok());
+}
