@@ -10,8 +10,17 @@
 //! At rate 0.0 the harness additionally asserts the fault-tolerant
 //! path is bit-identical to the plain fan-out (the degraded machinery
 //! must cost nothing in quality when nothing fails).
+//!
+//! A second scenario drives the overload-safe serving plane at 2x its
+//! admitted capacity while one availability zone (two of the four
+//! ranking shards) is crashed: excess arrivals must shed with typed
+//! errors, every admitted query whose searched cluster survives must
+//! stay bit-identical to fault-free serving, and the p99 deadline
+//! budget spent by admitted queries must stay within the configured
+//! budget — all recorded in the same JSON artifact.
 
 use std::fmt::Write as _;
+use std::sync::{Barrier, Mutex};
 use std::time::Duration;
 
 use tiptoe_core::config::TiptoeConfig;
@@ -20,7 +29,7 @@ use tiptoe_corpus::synth::{generate, Corpus, CorpusConfig};
 use tiptoe_embed::text::TextEmbedder;
 use tiptoe_ir::metrics::QualityReport;
 use tiptoe_ir::SearchHit;
-use tiptoe_net::{FaultPlan, FaultPolicy, FaultRates, LinkModel};
+use tiptoe_net::{BreakerState, FaultPlan, FaultPolicy, FaultRates, LinkModel, ServeError};
 
 const SEED: u64 = 51;
 const SHARDS: usize = 4;
@@ -75,6 +84,8 @@ fn main() {
     // bit-identity check against it.
     let mut plain_client = plain.new_client(7);
     let mut check_client = tolerant.new_client(7);
+    let mut plain_hits: Vec<Vec<tiptoe_core::client::RankedUrl>> = Vec::with_capacity(queries);
+    let mut plain_clusters: Vec<usize> = Vec::with_capacity(queries);
     let plain_results: Vec<Vec<SearchHit>> = corpus
         .queries
         .iter()
@@ -83,7 +94,10 @@ fn main() {
             let b = check_client.search_with_faults(&tolerant, &q.text, K, &FaultPlan::none());
             assert_eq!(a.cluster, b.cluster, "benign cluster drifted: {}", q.text);
             assert_eq!(a.hits, b.hits, "benign hits drifted: {}", q.text);
-            to_ir_hits(&a.hits)
+            let ir = to_ir_hits(&a.hits);
+            plain_clusters.push(a.cluster);
+            plain_hits.push(a.hits);
+            ir
         })
         .collect();
     let baseline = QualityReport::evaluate(&plain_results, &relevant, K);
@@ -153,6 +167,138 @@ fn main() {
     assert!((rows[0].mrr - baseline.mrr).abs() < 1e-12, "rate 0.0 must match baseline MRR");
     assert_eq!(rows[0].retries, 0, "no faults, no retries");
 
+    // --- Overload + AZ-crash scenario: 2x offered load against a
+    // pinned admission capacity while one availability zone (shards
+    // 0 and 1) is down. ---
+    const AZ_GROUP: [usize; 2] = [0, 1];
+    const CAPACITY: usize = 4;
+    const WAVES: usize = 5;
+    let mut over_config = TiptoeConfig::test_small(docs, SEED);
+    over_config.num_shards = SHARDS;
+    over_config.fault_policy = FaultPolicy::tolerant();
+    over_config.admission.enabled = true;
+    over_config.admission.max_inflight = CAPACITY; // operator-pinned capacity
+    over_config.admission.queue_depth = 0;
+    // The budget must cover both PIR phases' fault deadlines (the AZ
+    // crash burns each phase's virtual-time budget before degrading).
+    over_config.admission.deadline = Duration::from_secs(10);
+    over_config.breaker.enabled = true;
+    // Debug/CI machines must not trip healthy shards on real latency.
+    over_config.breaker.latency_threshold = Duration::from_secs(60);
+    over_config.validate();
+    let overloaded = TiptoeInstance::build(
+        &over_config,
+        TextEmbedder::new(over_config.d_embed, SEED, 0),
+        &corpus,
+    );
+    let plane = overloaded.serving_plane();
+    let ctrl = plane.admission().expect("admission enabled");
+    let bank = plane.breakers().expect("breakers enabled");
+    let plan = FaultPlan::none().correlated_crash(&AZ_GROUP);
+
+    // Each wave releases 2x capacity concurrent clients at a barrier;
+    // queries cycle through the corpus.
+    let offered = WAVES * 2 * CAPACITY;
+    let admitted_runs: Mutex<Vec<(usize, tiptoe_core::client::SearchResults)>> =
+        Mutex::new(Vec::new());
+    let mut shed = 0u64;
+    let mut deadline_exceeded = 0u64;
+    for wave in 0..WAVES {
+        let barrier = Barrier::new(2 * CAPACITY);
+        let wave_outcomes: Mutex<Vec<Result<(), ServeError>>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for j in 0..2 * CAPACITY {
+                let qi = (wave * 2 * CAPACITY + j) % queries;
+                let (overloaded, plane, plan, barrier) = (&overloaded, &plane, &plan, &barrier);
+                let (admitted_runs, wave_outcomes) = (&admitted_runs, &wave_outcomes);
+                let text = &corpus.queries[qi].text;
+                scope.spawn(move || {
+                    let mut c = overloaded.new_client(1000 + (wave * 16 + j) as u64);
+                    barrier.wait();
+                    let outcome =
+                        match c.try_search_served_with_faults(overloaded, text, K, plan, plane) {
+                            Ok(r) => {
+                                admitted_runs.lock().expect("runs lock").push((qi, r));
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        };
+                    wave_outcomes.lock().expect("outcomes lock").push(outcome);
+                });
+            }
+        });
+        for outcome in wave_outcomes.into_inner().expect("outcomes lock") {
+            match outcome {
+                Ok(()) => {}
+                Err(ServeError::Overloaded { .. }) => shed += 1,
+                Err(ServeError::DeadlineExceeded { .. }) => deadline_exceeded += 1,
+                Err(e) => panic!("unexpected typed error under overload: {e:?}"),
+            }
+        }
+    }
+
+    // Conservation: every offered query was answered or typed-failed
+    // (a thread panic would have aborted the scope above).
+    let admitted_runs = admitted_runs.into_inner().expect("runs lock");
+    let admitted_ok = admitted_runs.len() as u64;
+    assert_eq!(admitted_ok + shed + deadline_exceeded, offered as u64, "no query lost");
+    assert_eq!(ctrl.admitted(), admitted_ok + deadline_exceeded, "controller admission ledger");
+    assert_eq!(ctrl.sheds(), shed, "controller shed ledger");
+    assert_eq!(overloaded.transcript.sheds(), shed, "transcript shed ledger");
+    assert!(shed > 0, "2x offered load against a full plane must shed");
+    assert!(admitted_ok as usize >= WAVES * CAPACITY, "each wave admits at least capacity");
+
+    // Bit-identity of admitted queries whose searched cluster survived
+    // the AZ crash, and budget-spent percentiles across all admitted.
+    let survivor_shards: Vec<usize> =
+        (0..SHARDS).filter(|s| !AZ_GROUP.contains(s)).collect();
+    let mut survivor_checked = 0usize;
+    let mut spent_ms: Vec<f64> = Vec::with_capacity(admitted_runs.len());
+    for (qi, r) in &admitted_runs {
+        let dq = r.degraded.as_ref().expect("fault-tolerant searches report state");
+        let owner = (0..SHARDS)
+            .find(|&w| {
+                let (lo, hi) = overloaded.ranking.shard_clusters(w);
+                (lo..hi).contains(&plain_clusters[*qi])
+            })
+            .expect("every cluster has a shard");
+        if survivor_shards.contains(&owner) {
+            assert!(!dq.searched_cluster_missing, "query {qi}: survivor cluster served");
+            assert_eq!(
+                r.hits, plain_hits[*qi],
+                "query {qi}: admitted survivor-zone query must stay bit-identical"
+            );
+            survivor_checked += 1;
+        } else {
+            assert!(dq.searched_cluster_missing, "query {qi}: dead-zone cluster reported");
+        }
+        let spent = dq.rank_report.timing.wall + dq.url_report.timing.wall;
+        spent_ms.push(spent.as_secs_f64() * 1e3);
+    }
+    assert!(survivor_checked > 0, "the corpus must map some queries to surviving shards");
+    spent_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| spent_ms[((spent_ms.len() as f64 * p).ceil() as usize - 1).min(spent_ms.len() - 1)];
+    let (p50_spent, p99_spent) = (pct(0.50), pct(0.99));
+    let deadline_ms = over_config.admission.deadline.as_secs_f64() * 1e3;
+    assert!(
+        p99_spent <= deadline_ms,
+        "admitted p99 budget spend {p99_spent:.1} ms blew the {deadline_ms:.0} ms budget"
+    );
+
+    // The crashed zone's breakers must have opened (degraded-mode
+    // rerouting); the survivors and the URL server stay closed.
+    for &s in &AZ_GROUP {
+        assert_eq!(bank.state(s), BreakerState::Open, "shard {s}: AZ crash opens the breaker");
+    }
+    assert_eq!(bank.state(SHARDS), BreakerState::Closed, "URL server stays closed");
+    let breaker_open = bank.degraded_shards();
+    println!(
+        "[ok] overload: {offered} offered, {admitted_ok} admitted, {shed} shed, \
+         {deadline_exceeded} deadline-exceeded; {survivor_checked} survivor queries \
+         bit-identical; budget spend p50 {p50_spent:.1} ms / p99 {p99_spent:.1} ms \
+         (budget {deadline_ms:.0} ms); breakers open: {breaker_open:?}\n"
+    );
+
     // --- Emit BENCH_faults.json at the workspace root. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"faults\",");
@@ -170,6 +316,24 @@ fn main() {
         policy.hedge_after.map_or("null".to_string(), |h| h.as_millis().to_string())
     );
     let _ = writeln!(json, "    \"deadline_ms\": {}", policy.deadline.as_millis());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"overload\": {{");
+    let _ = writeln!(json, "    \"capacity\": {CAPACITY},");
+    let _ = writeln!(json, "    \"queue_depth\": {},", over_config.admission.queue_depth);
+    let _ = writeln!(json, "    \"deadline_budget_ms\": {:.0},", deadline_ms);
+    let _ = writeln!(json, "    \"az_group\": [{}, {}],", AZ_GROUP[0], AZ_GROUP[1]);
+    let _ = writeln!(json, "    \"offered\": {offered},");
+    let _ = writeln!(json, "    \"admitted\": {admitted_ok},");
+    let _ = writeln!(json, "    \"shed\": {shed},");
+    let _ = writeln!(json, "    \"deadline_exceeded\": {deadline_exceeded},");
+    let _ = writeln!(json, "    \"survivor_bit_identical\": {survivor_checked},");
+    let _ = writeln!(json, "    \"budget_spent_p50_ms\": {p50_spent:.3},");
+    let _ = writeln!(json, "    \"budget_spent_p99_ms\": {p99_spent:.3},");
+    let _ = writeln!(
+        json,
+        "    \"breakers_open\": [{}]",
+        breaker_open.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {

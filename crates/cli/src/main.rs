@@ -5,6 +5,7 @@
 //! tiptoe index FILE [QUERY...]      # index a file of documents, run queries
 //! tiptoe search QUERY...            # synthetic corpus, run queries, exit
 //! tiptoe serve-bench [CLIENTS]      # load-test direct vs coalesced serving
+//! tiptoe overload-demo [CLIENTS]    # overload the plane, watch it shed
 //! ```
 //!
 //! In `index` mode, `FILE` holds one document per line, either
@@ -32,7 +33,76 @@ fn usage() -> ! {
     eprintln!("  tiptoe index FILE [QUERY...]  index 'url<TAB>text' lines, run queries");
     eprintln!("  tiptoe search QUERY...        synthetic corpus, run queries, exit");
     eprintln!("  tiptoe serve-bench [CLIENTS]  load-test direct vs coalesced serving");
+    eprintln!("  tiptoe overload-demo [CLIENTS] drive 2x capacity, watch typed sheds");
     std::process::exit(2);
+}
+
+/// `tiptoe overload-demo [CLIENTS]`: bring up a small instance with
+/// admission control pinned to half the offered concurrency, release
+/// all clients at once, and show the plane shedding the excess with
+/// typed errors while every admitted query completes normally.
+fn overload_demo(clients: Option<usize>) -> ! {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use tiptoe_net::ServeError;
+
+    let clients = clients.unwrap_or(8).max(2);
+    let capacity = (clients / 2).max(1);
+    let docs = 500;
+    println!("tiptoe: indexing {docs} synthetic documents ...");
+    let corpus = generate(&CorpusConfig::small(docs, 7), 0);
+    let mut config = TiptoeConfig::test_small(docs, 7);
+    config.admission.enabled = true;
+    config.admission.max_inflight = capacity;
+    config.admission.queue_depth = 0;
+    config.admission.deadline = std::time::Duration::from_secs(30);
+    config.validate();
+    let embedder = TextEmbedder::new(config.d_embed, 7, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    let plane = instance.serving_plane();
+    let ctrl = plane.admission().expect("admission enabled");
+    println!(
+        "tiptoe: admission capacity {} (queue depth {}), {clients} concurrent clients\n",
+        ctrl.capacity(),
+        ctrl.policy().queue_depth
+    );
+
+    let queries = ["museum history archive", "health doctor symptoms", "travel island beach"];
+    let barrier = Barrier::new(clients);
+    let admitted = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let (instance, plane, barrier) = (&instance, &plane, &barrier);
+            let (admitted, shed) = (&admitted, &shed);
+            let query = queries[i % queries.len()];
+            scope.spawn(move || {
+                let mut client = instance.new_client(100 + i as u64);
+                barrier.wait();
+                match client.try_search_served(instance, query, 5, plane) {
+                    Ok(r) => {
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                        let top = r.hits.first().map_or("(no results)", |h| h.url.as_str());
+                        println!("client {i:>2}: admitted   {query:<24} -> {top}");
+                    }
+                    Err(e @ ServeError::Overloaded { .. }) => {
+                        shed.fetch_add(1, Ordering::SeqCst);
+                        println!("client {i:>2}: SHED       {query:<24} -> {e}");
+                    }
+                    Err(e) => println!("client {i:>2}: failed     {query:<24} -> {e}"),
+                }
+            });
+        }
+    });
+    println!(
+        "\ntiptoe: {} admitted, {} shed ({} total arrivals; transcript counted {})",
+        admitted.load(Ordering::SeqCst),
+        shed.load(Ordering::SeqCst),
+        ctrl.admitted() + ctrl.sheds(),
+        instance.transcript.sheds(),
+    );
+    println!("tiptoe: shed queries cost no token and no bytes; retry when load drops");
+    std::process::exit(0);
 }
 
 /// `tiptoe serve-bench [CLIENTS]`: run the closed-loop serving sweep
@@ -154,6 +224,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve-bench") {
         serve_bench(args.get(1).and_then(|a| a.parse().ok()));
+    }
+    if args.first().map(String::as_str) == Some("overload-demo") {
+        overload_demo(args.get(1).and_then(|a| a.parse().ok()));
     }
     let (corpus, label) = match args.first().map(String::as_str) {
         Some("demo") => {

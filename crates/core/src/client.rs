@@ -27,7 +27,10 @@ use tiptoe_embed::quantize::Quantizer;
 use tiptoe_embed::vector::normalize;
 use tiptoe_embed::Embedder;
 use tiptoe_math::rng::{derive_seed, seeded_rng};
-use tiptoe_net::{timed, FaultPlan, FaultReport, Ledger, LinkModel, ParallelTiming, Phase};
+use tiptoe_net::{
+    timed, DeadlineBudget, FaultPlan, FaultReport, Ledger, LinkModel, ParallelTiming, Phase,
+    ServeError,
+};
 use tiptoe_pir::PirClient;
 use tiptoe_underhood::{combine_decoded_subset, ClientKey, DecodedToken, EncryptedSecret};
 
@@ -322,7 +325,9 @@ impl TiptoeClient {
         let first_cluster = order.first().copied().unwrap_or(0);
         let mut degraded: Option<DegradedQuery> = None;
         for &cluster in &order {
-            let results = self.search_in_cluster(instance, query, k, Some(cluster), None, None);
+            let results = self
+                .search_in_cluster(instance, query, k, Some(cluster), None, None, None)
+                .expect("unbudgeted search cannot fail");
             total_cost = add_costs(&total_cost, &results.cost);
             merged.extend(results.hits);
             degraded = merge_degraded(degraded, results.degraded);
@@ -348,7 +353,8 @@ impl TiptoeClient {
         query: &str,
         k: usize,
     ) -> SearchResults {
-        self.search_in_cluster(instance, query, k, None, None, None)
+        self.search_in_cluster(instance, query, k, None, None, None, None)
+            .expect("unbudgeted search cannot fail")
     }
 
     /// [`TiptoeClient::search`] through a serving plane: shard compute
@@ -366,7 +372,93 @@ impl TiptoeClient {
         k: usize,
         serving: &ServingPlane<'_>,
     ) -> SearchResults {
-        self.search_in_cluster(instance, query, k, None, None, Some(serving))
+        self.search_in_cluster(instance, query, k, None, None, Some(serving), None)
+            .expect("unbudgeted search cannot fail")
+    }
+
+    /// The overload-safe form of [`TiptoeClient::search_served`]: the
+    /// query first passes the plane's admission control (shed queries
+    /// return [`ServeError::Overloaded`] *before* consuming a token or
+    /// moving any bytes) and then runs under the plane's per-query
+    /// deadline budget, so a stalled lane or exhausted budget surfaces
+    /// as a typed [`ServeError::DeadlineExceeded`] instead of blocking.
+    /// With admission control disabled on the plane this is exactly
+    /// [`TiptoeClient::search_served`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`], [`ServeError::DeadlineExceeded`],
+    /// or [`ServeError::LaneFailed`]. A shed query consumed nothing; a
+    /// deadlined query consumed its token (the paper's tokens are
+    /// single-use) but returned no partial answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn try_search_served<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        serving: &ServingPlane<'_>,
+    ) -> Result<SearchResults, ServeError> {
+        self.admitted_search(instance, query, k, None, serving)
+    }
+
+    /// The overload-safe form of
+    /// [`TiptoeClient::search_served_with_faults`]: admission control
+    /// and deadline budgets compose with an explicit fault plan, so
+    /// the plane sheds excess load while the fault-aware dispatcher
+    /// (and the plane's circuit breakers, if enabled) handle the
+    /// injected faults underneath.
+    ///
+    /// # Errors
+    ///
+    /// See [`TiptoeClient::try_search_served`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the instance's fault policy is disabled.
+    pub fn try_search_served_with_faults<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        plan: &FaultPlan,
+        serving: &ServingPlane<'_>,
+    ) -> Result<SearchResults, ServeError> {
+        assert!(
+            instance.config.fault_policy.enabled,
+            "try_search_served_with_faults needs an instance with fault_policy.enabled"
+        );
+        self.admitted_search(instance, query, k, Some(plan), serving)
+    }
+
+    /// One admission-controlled protocol round: admit (or shed), then
+    /// run the query under the plane's deadline budget while holding
+    /// the admission permit.
+    fn admitted_search<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        query: &str,
+        k: usize,
+        plan: Option<&FaultPlan>,
+        serving: &ServingPlane<'_>,
+    ) -> Result<SearchResults, ServeError> {
+        let permit = match serving.admit() {
+            Ok(p) => p,
+            Err(e) => {
+                // Shed before any wire bytes: the transcript records
+                // the rejection itself, never a partial phase.
+                instance.transcript.record_shed();
+                return Err(e);
+            }
+        };
+        let budget = serving.query_budget();
+        let results =
+            self.search_in_cluster(instance, query, k, None, plan, Some(serving), budget.as_ref());
+        drop(permit);
+        results
     }
 
     /// [`TiptoeClient::search_with_faults`] through a serving plane:
@@ -388,7 +480,8 @@ impl TiptoeClient {
             instance.config.fault_policy.enabled,
             "search_served_with_faults needs an instance with fault_policy.enabled"
         );
-        self.search_in_cluster(instance, query, k, None, Some(plan), Some(serving))
+        self.search_in_cluster(instance, query, k, None, Some(plan), Some(serving), None)
+            .expect("unbudgeted search cannot fail")
     }
 
     /// One private search under an explicit fault plan: the query runs
@@ -414,7 +507,8 @@ impl TiptoeClient {
             instance.config.fault_policy.enabled,
             "search_with_faults needs an instance with fault_policy.enabled"
         );
-        self.search_in_cluster(instance, query, k, None, Some(plan), None)
+        self.search_in_cluster(instance, query, k, None, Some(plan), None, None)
+            .expect("unbudgeted search cannot fail")
     }
 
     /// One protocol round, optionally forcing the searched cluster
@@ -425,6 +519,7 @@ impl TiptoeClient {
     /// root span, and exports the Chrome-trace/metrics/folded
     /// artifacts to the configured path (so the file always holds the
     /// most recent query).
+    #[allow(clippy::too_many_arguments)]
     fn search_in_cluster<E: Embedder>(
         &mut self,
         instance: &TiptoeInstance<E>,
@@ -433,17 +528,19 @@ impl TiptoeClient {
         force_cluster: Option<usize>,
         plan: Option<&FaultPlan>,
         serving: Option<&ServingPlane<'_>>,
-    ) -> SearchResults {
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<SearchResults, ServeError> {
         tiptoe_obs::begin_query();
         let results = {
             let _root = tiptoe_obs::span("client.query");
-            self.run_query(instance, query, k, force_cluster, plan, serving)
+            self.run_query(instance, query, k, force_cluster, plan, serving, budget)
         };
         tiptoe_obs::export::export_query_artifacts();
         results
     }
 
     /// The protocol round proper (see [`Self::search_in_cluster`]).
+    #[allow(clippy::too_many_arguments)]
     fn run_query<E: Embedder>(
         &mut self,
         instance: &TiptoeInstance<E>,
@@ -452,7 +549,8 @@ impl TiptoeClient {
         force_cluster: Option<usize>,
         plan: Option<&FaultPlan>,
         serving: Option<&ServingPlane<'_>>,
-    ) -> SearchResults {
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<SearchResults, ServeError> {
         assert!(k > 0, "k must be positive");
         if self.tokens.is_empty() {
             self.fetch_token(instance);
@@ -503,7 +601,8 @@ impl TiptoeClient {
             up_bytes: cost.rank_up,
             down_bytes: cost.rank_down,
         };
-        let ranked = instance.ranking.dispatch_answer(&ct, plan, policy, Some(&ledger), serving);
+        let ranked =
+            instance.ranking.try_dispatch_answer(&ct, plan, policy, Some(&ledger), serving, budget)?;
         cost.rank_server = ranked.timing;
         let applied = ranked.response;
         let survivors = ranked.survivors;
@@ -578,8 +677,15 @@ impl TiptoeClient {
         // The URL server shares the plan's address space at index `W`,
         // after the ranking shards.
         let shard_base = instance.ranking.num_shards();
-        let fetched =
-            instance.url.dispatch_answer(&url_ct, shard_base, plan, policy, Some(&url_ledger), serving);
+        let fetched = instance.url.try_dispatch_answer(
+            &url_ct,
+            shard_base,
+            plan,
+            policy,
+            Some(&url_ledger),
+            serving,
+            budget,
+        )?;
         cost.url_server = fetched.timing;
         let answer = fetched.response;
         if let (Some(report), Some(dq)) = (fetched.report, degraded.as_mut()) {
@@ -624,7 +730,7 @@ impl TiptoeClient {
         });
 
         cost.client_time = t_embed + t_rankdec + t_urlenc + t_recover;
-        SearchResults { cluster, hits, cost, degraded }
+        Ok(SearchResults { cluster, hits, cost, degraded })
     }
 }
 

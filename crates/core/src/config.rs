@@ -3,7 +3,7 @@
 use tiptoe_cluster::ClusterConfig;
 use tiptoe_embed::quantize::Quantizer;
 use tiptoe_lwe::LweParams;
-use tiptoe_net::{CoalescePolicy, FaultPolicy};
+use tiptoe_net::{AdmissionPolicy, BreakerPolicy, CoalescePolicy, ConfigError, FaultPolicy};
 use tiptoe_rlwe::RlweParams;
 
 /// Server-side parallelism and batching knobs.
@@ -74,6 +74,28 @@ pub struct TiptoeConfig {
     /// bound that applies backpressure. Coalesced answers are
     /// bit-identical to sequential ones at every batch size.
     pub coalesce: CoalescePolicy,
+    /// Admission-control knobs for the serving plane: the bounded
+    /// inflight-query window and the per-admitted-query deadline
+    /// budget. Disabled by default — every query is admitted and
+    /// unbudgeted, exactly the pre-overload behavior. When enabled,
+    /// queries past the plane's derived capacity (plus the queue
+    /// depth) are shed with a typed error before consuming a token or
+    /// moving any bytes.
+    pub admission: AdmissionPolicy,
+    /// Per-shard circuit-breaker knobs for the serving plane. Disabled
+    /// by default. When enabled, a shard whose responses fail (or
+    /// straggle past the latency threshold) repeatedly is *opened*:
+    /// the fault-aware dispatch skips it — queries degrade to
+    /// survivor-subset decryption over the remaining shards — until a
+    /// half-open probe succeeds enough to close it again.
+    pub breaker: BreakerPolicy,
+    /// Span-tree sampling: trace 1-in-N queries (`1` = every query,
+    /// the default). Unsampled queries skip span recording entirely —
+    /// only the always-on metrics registry sees them — so tracing can
+    /// stay enabled in overload experiments without the span buffer
+    /// dominating. The `TIPTOE_TRACE_SAMPLE` environment variable sets
+    /// the ambient default; a value here above 1 overrides it.
+    pub trace_sample: u64,
     /// When set, enables span tracing and exports per-query trace
     /// artifacts (Chrome trace, metrics snapshot, folded stacks) to
     /// this path — the programmatic twin of the `TIPTOE_TRACE`
@@ -107,6 +129,9 @@ impl TiptoeConfig {
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
             coalesce: CoalescePolicy::default(),
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            trace_sample: 1,
             trace_path: None,
             seed,
         }
@@ -131,6 +156,9 @@ impl TiptoeConfig {
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
             coalesce: CoalescePolicy::default(),
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            trace_sample: 1,
             trace_path: None,
             seed,
         }
@@ -163,6 +191,9 @@ impl TiptoeConfig {
             parallelism: Parallelism::default(),
             fault_policy: FaultPolicy::default(),
             coalesce: CoalescePolicy::default(),
+            admission: AdmissionPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            trace_sample: 1,
             trace_path: None,
             seed,
         }
@@ -173,13 +204,22 @@ impl TiptoeConfig {
         Quantizer::new(self.quant_bits, self.rank_lwe.p)
     }
 
-    /// Checks cross-parameter consistency.
+    /// Checks cross-parameter consistency, surfacing policy
+    /// misconfiguration as a typed [`ConfigError`] instead of a panic
+    /// — the entry point for config loading.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending knob for any invalid
+    /// fault, coalesce, admission, or breaker policy, or a zero
+    /// `trace_sample`.
     ///
     /// # Panics
     ///
-    /// Panics if the quantizer cannot host `d_reduced`-dimensional
-    /// inner products, or the services disagree on outer parameters.
-    pub fn validate(&self) {
+    /// Structural parameter errors (lattice dimensions, quantizer
+    /// capacity, shard counts) are programming errors, not operator
+    /// input, and still panic.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
         self.rank_lwe.validate();
         self.url_lwe.validate();
         assert!(self.d_reduced <= self.d_embed, "PCA cannot increase dimension");
@@ -192,10 +232,18 @@ impl TiptoeConfig {
         );
         assert!(self.num_shards >= 1, "need at least one shard");
         if self.fault_policy.enabled {
-            self.fault_policy.validate();
+            self.fault_policy.validate()?;
         }
         assert!(self.parallelism.batch_size >= 1, "need a positive query batch size");
-        self.coalesce.validate();
+        self.coalesce.validate()?;
+        self.admission.validate()?;
+        self.breaker.validate()?;
+        if self.trace_sample == 0 {
+            return Err(ConfigError {
+                field: "trace_sample",
+                reason: "span sampling rate must be at least 1 (1 = trace every query)",
+            });
+        }
         assert!(self.urls_per_batch >= 1, "need at least one URL per batch");
         if self.pack_ranking_db {
             assert!(
@@ -203,6 +251,19 @@ impl TiptoeConfig {
                 "packed storage needs a power-of-two ranking modulus"
             );
             assert!(self.quant_bits <= 3, "packed storage holds signed 4-bit entries");
+        }
+        Ok(())
+    }
+
+    /// Checks cross-parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency, including the policy errors
+    /// [`TiptoeConfig::try_validate`] reports as typed values.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -216,6 +277,35 @@ mod tests {
         TiptoeConfig::text(100_000, 1).validate();
         TiptoeConfig::image(100_000, 1).validate();
         TiptoeConfig::test_small(500, 1).validate();
+    }
+
+    #[test]
+    fn policy_misconfiguration_surfaces_as_typed_errors() {
+        let mut c = TiptoeConfig::test_small(500, 1);
+        c.trace_sample = 0;
+        let err = c.try_validate().expect_err("zero sampling rate");
+        assert_eq!(err.field, "trace_sample");
+
+        let mut c = TiptoeConfig::test_small(500, 1);
+        c.coalesce.max_batch = 0;
+        let err = c.try_validate().expect_err("zero batch");
+        assert_eq!(err.field, "coalesce.max_batch");
+
+        let mut c = TiptoeConfig::test_small(500, 1);
+        c.admission.deadline = std::time::Duration::ZERO;
+        let err = c.try_validate().expect_err("zero deadline");
+        assert_eq!(err.field, "admission.deadline");
+
+        let mut c = TiptoeConfig::test_small(500, 1);
+        c.breaker.failure_threshold = 0;
+        let err = c.try_validate().expect_err("zero failure threshold");
+        assert_eq!(err.field, "breaker.failure_threshold");
+
+        let mut c = TiptoeConfig::test_small(500, 1);
+        c.fault_policy = tiptoe_net::FaultPolicy::tolerant();
+        c.fault_policy.attempt_timeout = std::time::Duration::ZERO;
+        let err = c.try_validate().expect_err("zero attempt timeout");
+        assert_eq!(err.field, "fault_policy.attempt_timeout");
     }
 
     #[test]

@@ -65,6 +65,11 @@ impl<E: Embedder> TiptoeInstance<E> {
         if let Some(path) = &config.trace_path {
             tiptoe_obs::enable_with_path(path.clone());
         }
+        // Span sampling: the env sets the ambient default; an explicit
+        // config knob above 1 overrides it (1 leaves the ambient rate).
+        if config.trace_sample > 1 {
+            tiptoe_obs::set_span_sample(config.trace_sample);
+        }
         let ranking = RankingService::build(config, &artifacts);
         let url = UrlService::build(config, &artifacts);
         artifacts.report.crypto = ranking.preproc_time + url.preproc_time;
@@ -87,10 +92,18 @@ impl<E: Embedder> TiptoeInstance<E> {
     /// Brings up the serving plane over this deployment's services:
     /// one batch-coalescing lane per ranking shard plus one for the
     /// URL server, under the configured [`TiptoeConfig::coalesce`]
-    /// policy. The plane borrows the services, so drop it before any
-    /// mutable corpus update.
+    /// policy, with admission control and circuit breakers per
+    /// [`TiptoeConfig::admission`] and [`TiptoeConfig::breaker`] (both
+    /// disabled by default). The plane borrows the services, so drop
+    /// it before any mutable corpus update.
     pub fn serving_plane(&self) -> crate::serving::ServingPlane<'_> {
-        crate::serving::ServingPlane::new(&self.ranking, &self.url, self.config.coalesce)
+        crate::serving::ServingPlane::with_overload(
+            &self.ranking,
+            &self.url,
+            self.config.coalesce,
+            self.config.admission,
+            self.config.breaker,
+        )
     }
 
     /// Total server-side index storage across both services.

@@ -19,7 +19,10 @@ use tiptoe_math::nibble::NibbleMat;
 use tiptoe_math::rng::derive_seed;
 use tiptoe_math::wire::{WireError, WireReader, WireWriter};
 use tiptoe_math::zq::Word;
-use tiptoe_net::{dispatch, Dispatched, FaultPlan, FaultPolicy, Ledger, ParallelTiming, Service};
+use tiptoe_net::{
+    dispatch, DeadlineBudget, DispatchContext, Dispatched, FaultPlan, FaultPolicy, Ledger,
+    ParallelTiming, ServeError, Service,
+};
 use tiptoe_underhood::{
     combine_partial_tokens, EncryptedSecret, ExpandedSecret, QueryToken, ServerHint, Underhood,
 };
@@ -101,6 +104,10 @@ pub struct RankingService {
 struct RankAnswer<'a> {
     svc: &'a RankingService,
     via: Option<&'a ServingPlane<'a>>,
+    /// The query's deadline budget, when admission control issued one:
+    /// coalesced shard compute then runs under `submit_within` so a
+    /// stalled lane surfaces as a typed error instead of blocking.
+    budget: Option<&'a DeadlineBudget>,
 }
 
 impl Service for RankAnswer<'_> {
@@ -120,16 +127,17 @@ impl Service for RankAnswer<'_> {
         self.svc.shards.len()
     }
 
-    fn serve(&self, idx: usize, ct: &LweCiphertext<u64>) -> Vec<u8> {
+    fn serve(&self, idx: usize, ct: &LweCiphertext<u64>) -> Result<Vec<u8>, ServeError> {
         let shard = &self.svc.shards[idx];
         let chunk = ct.c[shard.col_start..shard.col_start + shard.db.cols()].to_vec();
-        let part = match self.via {
-            Some(plane) => plane.rank_chunk(idx, chunk),
-            None => shard.db.apply(&LweCiphertext { c: chunk }),
+        let part = match (self.via, self.budget) {
+            (Some(plane), Some(b)) => plane.rank_chunk_within(idx, chunk, b.check()?)?,
+            (Some(plane), None) => plane.rank_chunk(idx, chunk),
+            (None, _) => shard.db.apply(&LweCiphertext { c: chunk }),
         };
         let mut w = WireWriter::new();
         w.put_u64_slice(&part);
-        w.finish()
+        Ok(w.finish())
     }
 
     fn parse(&self, _idx: usize, payload: &[u8]) -> Result<Vec<u64>, WireError> {
@@ -181,13 +189,13 @@ impl Service for RankToken<'_> {
         self.svc.shards.len()
     }
 
-    fn serve(&self, idx: usize, es: &ExpandedSecret) -> Vec<u8> {
+    fn serve(&self, idx: usize, es: &ExpandedSecret) -> Result<Vec<u8>, ServeError> {
         // Inside each shard the (chunk, limb) NTT multiply-accumulate
         // units fan out across threads; the token is bit-identical to
         // the sequential evaluation.
         let threads = self.svc.parallelism.num_threads;
         let shard = &self.svc.shards[idx];
-        self.svc.uh.generate_token_expanded_par(&shard.server_hint, es, threads).encode()
+        Ok(self.svc.uh.generate_token_expanded_par(&shard.server_hint, es, threads).encode())
     }
 
     fn parse(&self, _idx: usize, payload: &[u8]) -> Result<QueryToken, WireError> {
@@ -393,14 +401,10 @@ impl RankingService {
         &self,
         es: &ExpandedSecret,
     ) -> (Vec<QueryToken>, ParallelTiming) {
-        let d = dispatch(
-            &RankToken { svc: self },
-            es,
-            0,
-            &FaultPlan::none(),
-            &FaultPolicy::default(),
-            None,
-        );
+        let plan = FaultPlan::none();
+        let policy = FaultPolicy::default();
+        let d = dispatch(&RankToken { svc: self }, es, 0, DispatchContext::new(&plan, &policy), None)
+            .expect("healthy token dispatch cannot fail");
         (d.response, d.timing)
     }
 
@@ -510,8 +514,41 @@ impl RankingService {
         ledger: Option<&Ledger<'_>>,
         via: Option<&ServingPlane<'_>>,
     ) -> Dispatched<Vec<u64>> {
+        self.try_dispatch_answer(ct, plan, policy, ledger, via, None)
+            .expect("unbudgeted dispatch cannot fail on a valid policy")
+    }
+
+    /// [`RankingService::dispatch_answer`] under the overload-safety
+    /// layers: the query's deadline `budget` is checked before the
+    /// fan-out and charged with its wall time, and the serving plane's
+    /// circuit breakers (if enabled) gate per-shard traffic on the
+    /// fault-aware path. Without a budget this cannot fail on a valid
+    /// policy — breakers alone only degrade the combine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] when the budget runs out,
+    /// [`ServeError::LaneFailed`] on a permanently crashed coalescer
+    /// lane, [`ServeError::InvalidPolicy`] on an invalid enabled
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext dimension differs from `d·C`.
+    pub fn try_dispatch_answer(
+        &self,
+        ct: &LweCiphertext<u64>,
+        plan: &FaultPlan,
+        policy: &FaultPolicy,
+        ledger: Option<&Ledger<'_>>,
+        via: Option<&ServingPlane<'_>>,
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<Dispatched<Vec<u64>>, ServeError> {
         assert_eq!(ct.c.len(), self.cols, "ciphertext dimension mismatch");
-        dispatch(&RankAnswer { svc: self, via }, ct, 0, plan, policy, ledger)
+        let ctx = DispatchContext::new(plan, policy)
+            .with_budget(budget)
+            .with_breakers(via.and_then(|p| p.breakers()));
+        dispatch(&RankAnswer { svc: self, via, budget }, ct, 0, ctx, ledger)
     }
 
     /// Cluster indices lost with the failed shards of a dispatch:

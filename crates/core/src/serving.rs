@@ -23,22 +23,32 @@
 //! ([`crate::instance::TiptoeInstance::serving_plane`]) and dropped
 //! before any mutable corpus update.
 
+use std::time::Duration;
+
 use tiptoe_lwe::LweCiphertext;
-use tiptoe_net::{CoalescePolicy, Coalescer};
+use tiptoe_net::{
+    AdmissionController, AdmissionPermit, AdmissionPolicy, BreakerBank, BreakerPolicy,
+    CoalescePolicy, Coalescer, DeadlineBudget, ServeError,
+};
 
 use crate::ranking::RankingService;
 use crate::url::UrlService;
 
-/// Batch coalescers over both services' shards. Shareable across
-/// client threads (`&ServingPlane` is `Send + Sync`).
+/// Batch coalescers over both services' shards, plus the plane's
+/// overload-safety layers: an admission controller (bounded inflight
+/// queries, deterministic shedding) and per-shard circuit breakers.
+/// Shareable across client threads (`&ServingPlane` is `Send + Sync`).
 pub struct ServingPlane<'a> {
     rank_lanes: Vec<Coalescer<'a, Vec<u64>, Vec<u64>>>,
     url_lane: Coalescer<'a, LweCiphertext<u32>, Vec<u32>>,
+    admission: Option<AdmissionController>,
+    breakers: Option<BreakerBank>,
 }
 
 impl<'a> ServingPlane<'a> {
     /// Builds one coalescing lane per ranking shard plus one for the
-    /// URL server.
+    /// URL server, with overload safety disabled (every query is
+    /// admitted, no breakers).
     ///
     /// # Panics
     ///
@@ -48,7 +58,41 @@ impl<'a> ServingPlane<'a> {
         url: &'a UrlService,
         policy: CoalescePolicy,
     ) -> Self {
-        policy.validate();
+        Self::with_overload(
+            ranking,
+            url,
+            policy,
+            AdmissionPolicy::default(),
+            BreakerPolicy::default(),
+        )
+    }
+
+    /// [`ServingPlane::new`] with explicit overload-safety policies.
+    ///
+    /// When `admission.enabled`, the plane's concurrent-query capacity
+    /// is derived from the observed batched-scan latency histogram
+    /// (`net.coalesce.flush_us`) — or pinned by
+    /// `admission.max_inflight` — and queries past
+    /// `capacity + queue_depth` inflight are shed with a typed
+    /// [`ServeError::Overloaded`]. When `breaker.enabled`, each
+    /// ranking shard (and the URL server, addressed after them) gets a
+    /// circuit breaker consulted by the fault-aware dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any policy is invalid (use
+    /// [`crate::config::TiptoeConfig::try_validate`] to surface this
+    /// as a typed error at config-load time).
+    pub fn with_overload(
+        ranking: &'a RankingService,
+        url: &'a UrlService,
+        policy: CoalescePolicy,
+        admission: AdmissionPolicy,
+        breaker: BreakerPolicy,
+    ) -> Self {
+        policy.validate().expect("invalid coalescer policy");
+        admission.validate().expect("invalid admission policy");
+        breaker.validate().expect("invalid breaker policy");
         let rank_lanes = (0..ranking.num_shards())
             .map(|idx| {
                 Coalescer::new(policy, move |chunks: Vec<Vec<u64>>| {
@@ -60,12 +104,55 @@ impl<'a> ServingPlane<'a> {
         let url_lane = Coalescer::new(policy, move |cts: Vec<LweCiphertext<u32>>| {
             url.answer_many(&cts, threads)
         });
-        Self { rank_lanes, url_lane }
+        let admission = admission.enabled.then(|| {
+            let flush = tiptoe_obs::metrics().histogram("net.coalesce.flush_us");
+            let capacity = admission.capacity_from_flush_histogram(&flush, policy.max_batch);
+            AdmissionController::new(admission, capacity)
+        });
+        let breakers = breaker.enabled.then(|| BreakerBank::new(breaker, ranking.num_shards() + 1));
+        Self { rank_lanes, url_lane, admission, breakers }
     }
 
     /// Number of ranking lanes (one per shard).
     pub fn num_rank_lanes(&self) -> usize {
         self.rank_lanes.len()
+    }
+
+    /// The admission controller, when admission control is enabled.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// The per-shard circuit breakers, when breakers are enabled.
+    /// Ranking shard `w` owns breaker `w`; the URL server owns breaker
+    /// `W` (matching the fault plan's shared address space).
+    pub fn breakers(&self) -> Option<&BreakerBank> {
+        self.breakers.as_ref()
+    }
+
+    /// Admits one query, or sheds it. `Ok(None)` means admission
+    /// control is disabled (nothing to hold); `Ok(Some(permit))` must
+    /// be held for the query's duration — dropping the permit releases
+    /// the inflight slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the plane is at
+    /// `capacity + queue_depth` inflight queries. Shedding happens
+    /// *before* any bytes move or tokens are consumed, so a shed query
+    /// is a clean, costless retry for the client.
+    pub fn admit(&self) -> Result<Option<AdmissionPermit<'_>>, ServeError> {
+        match &self.admission {
+            Some(ctrl) => ctrl.try_admit().map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// A fresh per-query deadline budget under the admission policy,
+    /// or `None` when admission control is disabled (unbudgeted
+    /// queries never deadline out).
+    pub fn query_budget(&self) -> Option<DeadlineBudget> {
+        self.admission.as_ref().map(|c| DeadlineBudget::new(c.policy().deadline))
     }
 
     /// Answers one ranking chunk through shard `idx`'s coalescing
@@ -79,9 +166,44 @@ impl<'a> ServingPlane<'a> {
         self.rank_lanes[idx].submit(chunk)
     }
 
+    /// [`ServingPlane::rank_chunk`] under a deadline: the request is
+    /// withdrawn with a typed error if no flush answers it within
+    /// `deadline`, and lane crashes surface as
+    /// [`ServeError::LaneFailed`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] or [`ServeError::LaneFailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn rank_chunk_within(
+        &self,
+        idx: usize,
+        chunk: Vec<u64>,
+        deadline: Duration,
+    ) -> Result<Vec<u64>, ServeError> {
+        self.rank_lanes[idx].submit_within(chunk, deadline)
+    }
+
     /// Answers one URL PIR query through the coalescing lane.
     pub fn url_answer(&self, ct: LweCiphertext<u32>) -> Vec<u32> {
         self.url_lane.submit(ct)
+    }
+
+    /// [`ServingPlane::url_answer`] under a deadline (see
+    /// [`ServingPlane::rank_chunk_within`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] or [`ServeError::LaneFailed`].
+    pub fn url_answer_within(
+        &self,
+        ct: LweCiphertext<u32>,
+        deadline: Duration,
+    ) -> Result<Vec<u32>, ServeError> {
+        self.url_lane.submit_within(ct, deadline)
     }
 }
 

@@ -7,7 +7,8 @@ use tiptoe_lwe::{LweCiphertext, MatrixA};
 use tiptoe_math::rng::derive_seed;
 use tiptoe_math::wire::{WireError, WireReader, WireWriter};
 use tiptoe_net::{
-    dispatch, timed, Dispatched, FaultPlan, FaultPolicy, Ledger, ParallelTiming, Service,
+    dispatch, timed, DeadlineBudget, DispatchContext, Dispatched, FaultPlan, FaultPolicy, Ledger,
+    ParallelTiming, ServeError, Service,
 };
 use tiptoe_pir::{PirDatabase, PirServer};
 use tiptoe_underhood::{EncryptedSecret, ExpandedSecret, QueryToken, Underhood};
@@ -22,6 +23,9 @@ use crate::serving::ServingPlane;
 struct UrlAnswer<'a> {
     svc: &'a UrlService,
     via: Option<&'a ServingPlane<'a>>,
+    /// The query's deadline budget, when admission control issued one
+    /// (see [`crate::ranking`]'s `RankAnswer`).
+    budget: Option<&'a DeadlineBudget>,
 }
 
 impl Service for UrlAnswer<'_> {
@@ -41,14 +45,15 @@ impl Service for UrlAnswer<'_> {
         1
     }
 
-    fn serve(&self, _idx: usize, ct: &LweCiphertext<u32>) -> Vec<u8> {
-        let answer = match self.via {
-            Some(plane) => plane.url_answer(ct.clone()),
-            None => self.svc.server.answer(ct),
+    fn serve(&self, _idx: usize, ct: &LweCiphertext<u32>) -> Result<Vec<u8>, ServeError> {
+        let answer = match (self.via, self.budget) {
+            (Some(plane), Some(b)) => plane.url_answer_within(ct.clone(), b.check()?)?,
+            (Some(plane), None) => plane.url_answer(ct.clone()),
+            (None, _) => self.svc.server.answer(ct),
         };
         let mut w = WireWriter::new();
         w.put_u32_slice(&answer);
-        w.finish()
+        Ok(w.finish())
     }
 
     fn parse(&self, _idx: usize, payload: &[u8]) -> Result<Vec<u32>, WireError> {
@@ -155,7 +160,35 @@ impl UrlService {
         ledger: Option<&Ledger<'_>>,
         via: Option<&ServingPlane<'_>>,
     ) -> Dispatched<Option<Vec<u32>>> {
-        dispatch(&UrlAnswer { svc: self, via }, ct, shard_base, plan, policy, ledger)
+        self.try_dispatch_answer(ct, shard_base, plan, policy, ledger, via, None)
+            .expect("unbudgeted dispatch cannot fail on a valid policy")
+    }
+
+    /// [`UrlService::dispatch_answer`] under the overload-safety
+    /// layers (deadline `budget` plus the serving plane's circuit
+    /// breakers — the URL server owns breaker `shard_base`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] when the budget runs out,
+    /// [`ServeError::LaneFailed`] on a permanently crashed coalescer
+    /// lane, [`ServeError::InvalidPolicy`] on an invalid enabled
+    /// policy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_dispatch_answer(
+        &self,
+        ct: &LweCiphertext<u32>,
+        shard_base: usize,
+        plan: &FaultPlan,
+        policy: &FaultPolicy,
+        ledger: Option<&Ledger<'_>>,
+        via: Option<&ServingPlane<'_>>,
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<Dispatched<Option<Vec<u32>>>, ServeError> {
+        let ctx = DispatchContext::new(plan, policy)
+            .with_budget(budget)
+            .with_breakers(via.and_then(|p| p.breakers()));
+        dispatch(&UrlAnswer { svc: self, via, budget }, ct, shard_base, ctx, ledger)
     }
 
     /// Server-side storage.

@@ -18,11 +18,34 @@
 //! flush function is (the workspace's batched kernels guarantee it),
 //! because batch composition only groups independent requests — it
 //! never mixes their data.
+//!
+//! Two failure modes are contained here rather than propagated:
+//!
+//! - **Lane crashes.** A panicking batched kernel must not take the
+//!   whole plane down (every co-batched query would hang waiting on a
+//!   reply that never comes). [`Coalescer`] catches the panic, fails
+//!   every request of the crashed flush, and lets each submitter
+//!   re-enqueue into a fresh batch up to [`MAX_LANE_RETRIES`] times
+//!   before returning a typed [`ServeError::LaneFailed`].
+//! - **Deadline overruns.** [`Coalescer::submit_within`] bounds how
+//!   long a request may sit in the lane. A request still *queued*
+//!   when its deadline expires withdraws itself (typed
+//!   [`ServeError::DeadlineExceeded`]); one already drained into an
+//!   in-flight flush waits for that imminent result — a response,
+//!   once computed, is never dropped on the floor.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::overload::{ConfigError, ServeError};
+
+/// Re-enqueue attempts a submitter makes after its flush crashed
+/// before giving up with [`ServeError::LaneFailed`].
+pub const MAX_LANE_RETRIES: u32 = 3;
 
 /// Knobs of one coalescing queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,14 +69,30 @@ impl Default for CoalescePolicy {
 impl CoalescePolicy {
     /// Checks internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a zero batch size, a zero wait, or a queue bound
-    /// smaller than one batch.
-    pub fn validate(&self) {
-        assert!(self.max_batch >= 1, "coalescer batch size must be positive");
-        assert!(self.max_wait > Duration::ZERO, "coalescer max wait must be positive");
-        assert!(self.queue_depth >= self.max_batch, "queue depth must hold at least one batch");
+    /// [`ConfigError`] on a zero batch size, a zero wait, or a queue
+    /// bound smaller than one batch.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_batch < 1 {
+            return Err(ConfigError {
+                field: "coalesce.max_batch",
+                reason: "batch size must be positive",
+            });
+        }
+        if self.max_wait == Duration::ZERO {
+            return Err(ConfigError {
+                field: "coalesce.max_wait",
+                reason: "max wait must be positive",
+            });
+        }
+        if self.queue_depth < self.max_batch {
+            return Err(ConfigError {
+                field: "coalesce.queue_depth",
+                reason: "queue depth must hold at least one batch",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -78,11 +117,17 @@ impl FlushReason {
     }
 }
 
+/// Marker delivered to every member of a flush whose kernel panicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LaneCrashed;
+
 /// One queued request: its payload, the channel its response returns
-/// on, and when it arrived (for queue-wait accounting).
+/// on, a withdrawal ticket, and when it arrived (for queue-wait
+/// accounting).
 struct Pending<Req, Resp> {
+    ticket: u64,
     req: Req,
-    reply: mpsc::Sender<Resp>,
+    reply: mpsc::Sender<Result<Resp, LaneCrashed>>,
     enqueued: Instant,
 }
 
@@ -95,6 +140,7 @@ struct Pending<Req, Resp> {
 pub struct Coalescer<'a, Req, Resp> {
     policy: CoalescePolicy,
     queue: Mutex<VecDeque<Pending<Req, Resp>>>,
+    next_ticket: AtomicU64,
     #[allow(clippy::type_complexity)]
     flush: Box<dyn Fn(Vec<Req>) -> Vec<Resp> + Send + Sync + 'a>,
 }
@@ -104,13 +150,19 @@ impl<'a, Req: Send, Resp: Send> Coalescer<'a, Req, Resp> {
     ///
     /// # Panics
     ///
-    /// Panics if the policy is invalid.
+    /// Panics if the policy is invalid (validate the policy through
+    /// config loading to get a typed error instead).
     pub fn new(
         policy: CoalescePolicy,
         flush: impl Fn(Vec<Req>) -> Vec<Resp> + Send + Sync + 'a,
     ) -> Self {
-        policy.validate();
-        Self { policy, queue: Mutex::new(VecDeque::new()), flush: Box::new(flush) }
+        policy.validate().expect("invalid coalescer policy");
+        Self {
+            policy,
+            queue: Mutex::new(VecDeque::new()),
+            next_ticket: AtomicU64::new(0),
+            flush: Box::new(flush),
+        }
     }
 
     /// The policy this coalescer runs under.
@@ -121,7 +173,71 @@ impl<'a, Req: Send, Resp: Send> Coalescer<'a, Req, Resp> {
     /// Submits one request and blocks until its response arrives —
     /// either from a batch this thread flushed or from one a
     /// co-submitter flushed.
-    pub fn submit(&self, req: Req) -> Resp {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane crashes [`MAX_LANE_RETRIES`] + 1 times in a
+    /// row for this request ([`Coalescer::submit_within`] returns the
+    /// typed error instead).
+    pub fn submit(&self, req: Req) -> Resp
+    where
+        Req: Clone,
+    {
+        match self.submit_bounded(req, None) {
+            Ok(resp) => resp,
+            Err(e) => panic!("coalescer lane failed permanently: {e}"),
+        }
+    }
+
+    /// Submits one request with a deadline measured from this call:
+    /// the request waits in the lane at most `deadline` before
+    /// withdrawing itself.
+    ///
+    /// # Errors
+    ///
+    /// - [`ServeError::DeadlineExceeded`] if the request was still
+    ///   queued when the deadline expired (it is withdrawn; the
+    ///   kernel never sees it).
+    /// - [`ServeError::LaneFailed`] if the lane's kernel crashed
+    ///   repeatedly under this request.
+    pub fn submit_within(&self, req: Req, deadline: Duration) -> Result<Resp, ServeError>
+    where
+        Req: Clone,
+    {
+        self.submit_bounded(req, Some(deadline))
+    }
+
+    fn submit_bounded(&self, req: Req, deadline: Option<Duration>) -> Result<Resp, ServeError>
+    where
+        Req: Clone,
+    {
+        let start = Instant::now();
+        let mut crashes = 0u32;
+        loop {
+            match self.submit_once(req.clone(), deadline, start)? {
+                Ok(resp) => return Ok(resp),
+                Err(LaneCrashed) => {
+                    crashes += 1;
+                    if crashes > MAX_LANE_RETRIES {
+                        return Err(ServeError::LaneFailed { crashes });
+                    }
+                    // Re-enqueue into a fresh batch; the poisoned
+                    // batch composition is gone, so a transient
+                    // kernel failure gets a clean retry.
+                }
+            }
+        }
+    }
+
+    /// One enqueue/wait round. The outer `Err` is a typed deadline
+    /// failure; the inner `Err` a crashed flush (retryable).
+    fn submit_once(
+        &self,
+        req: Req,
+        deadline: Option<Duration>,
+        start: Instant,
+    ) -> Result<Result<Resp, LaneCrashed>, ServeError> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let overflowing =
             self.queue.lock().expect("coalescer queue lock").len() >= self.policy.queue_depth;
@@ -131,22 +247,57 @@ impl<'a, Req: Send, Resp: Send> Coalescer<'a, Req, Resp> {
         }
         let filled = {
             let mut q = self.queue.lock().expect("coalescer queue lock");
-            q.push_back(Pending { req, reply: tx, enqueued: Instant::now() });
+            q.push_back(Pending { ticket, req, reply: tx, enqueued: Instant::now() });
             q.len() >= self.policy.max_batch
         };
         if filled {
             self.flush_pending(FlushReason::Full);
         }
         loop {
-            match rx.recv_timeout(self.policy.max_wait) {
-                Ok(resp) => return resp,
+            if let Some(d) = deadline {
+                let waited = start.elapsed();
+                if waited >= d {
+                    // Withdraw if still queued: the kernel never saw
+                    // the request, so failing it loses nothing.
+                    let withdrawn = {
+                        let mut q = self.queue.lock().expect("coalescer queue lock");
+                        let before = q.len();
+                        q.retain(|p| p.ticket != ticket);
+                        q.len() < before
+                    };
+                    if withdrawn {
+                        tiptoe_obs::metrics().counter("net.coalesce.abandoned").inc();
+                        return Err(ServeError::DeadlineExceeded { budget: d, spent: waited });
+                    }
+                    // Already drained into an in-flight flush: its
+                    // result is imminent and must not be dropped —
+                    // the caller charges the overrun to its budget.
+                    return match rx.recv() {
+                        Ok(outcome) => Ok(outcome),
+                        Err(mpsc::RecvError) => Ok(Err(LaneCrashed)),
+                    };
+                }
+            }
+            let wait = match deadline {
+                Some(d) => self.policy.max_wait.min(d.saturating_sub(start.elapsed())),
+                None => self.policy.max_wait,
+            };
+            match rx.recv_timeout(wait.max(Duration::from_micros(1))) {
+                Ok(outcome) => return Ok(outcome),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     // Our request (or the batch ahead of it) has waited
-                    // out the deadline: drain whatever is pending.
-                    self.flush_pending(FlushReason::Deadline);
+                    // out the max-wait: drain whatever is pending —
+                    // unless our own deadline just expired, in which
+                    // case the top of the loop withdraws the request
+                    // instead of handing it to the kernel late.
+                    if !deadline.is_some_and(|d| start.elapsed() >= d) {
+                        self.flush_pending(FlushReason::Deadline);
+                    }
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    unreachable!("coalescer dropped a pending reply channel")
+                    // The sender can only vanish if the flush died
+                    // without delivering; treat it as a crash.
+                    return Ok(Err(LaneCrashed));
                 }
             }
         }
@@ -155,6 +306,12 @@ impl<'a, Req: Send, Resp: Send> Coalescer<'a, Req, Resp> {
     /// Drains up to one batch from the queue and runs the batched
     /// kernel on it (outside the lock, so co-submitters keep
     /// enqueueing — and other batches keep flushing — concurrently).
+    ///
+    /// A kernel panic is contained: every member of the crashed batch
+    /// is failed with [`LaneCrashed`] so its submitter can retry or
+    /// surface a typed error — no waiter is left hanging, and no
+    /// request is silently duplicated (the crashed batch's requests
+    /// only re-enter the queue through their own submitters).
     fn flush_pending(&self, reason: FlushReason) {
         let batch: Vec<Pending<Req, Resp>> = {
             let mut q = self.queue.lock().expect("coalescer queue lock");
@@ -177,15 +334,33 @@ impl<'a, Req: Send, Resp: Send> Coalescer<'a, Req, Resp> {
         m.histogram("net.coalesce.queue_wait_us").record(queue_wait_us);
         m.counter_with("net.coalesce.flushes", Some(reason.as_str().into())).inc();
 
-        let (reqs, replies): (Vec<Req>, Vec<mpsc::Sender<Resp>>) =
+        let (reqs, replies): (Vec<Req>, Vec<mpsc::Sender<Result<Resp, LaneCrashed>>>) =
             batch.into_iter().map(|p| (p.req, p.reply)).unzip();
         let n = reqs.len();
-        let resps = (self.flush)(reqs);
-        assert_eq!(resps.len(), n, "batched kernel must answer every request");
-        for (reply, resp) in replies.iter().zip(resps) {
-            // A receiver can only be gone if the submitter panicked;
-            // the rest of the batch must still be delivered.
-            let _ = reply.send(resp);
+        let kernel_start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let resps = (self.flush)(reqs);
+            assert_eq!(resps.len(), n, "batched kernel must answer every request");
+            resps
+        }));
+        match outcome {
+            Ok(resps) => {
+                m.histogram("net.coalesce.flush_us")
+                    .record(kernel_start.elapsed().as_micros() as u64);
+                for (reply, resp) in replies.iter().zip(resps) {
+                    // A receiver can only be gone if its submitter
+                    // withdrew or panicked; the rest of the batch
+                    // must still be delivered.
+                    let _ = reply.send(Ok(resp));
+                }
+            }
+            Err(_) => {
+                m.counter("net.coalesce.lane_crashes").inc();
+                span.attr_u64("crashed", 1);
+                for reply in &replies {
+                    let _ = reply.send(Err(LaneCrashed));
+                }
+            }
         }
     }
 }
@@ -259,13 +434,72 @@ mod tests {
     }
 
     #[test]
+    fn submit_within_answers_in_time_requests() {
+        let c = Coalescer::new(CoalescePolicy::default(), |reqs: Vec<u64>| {
+            reqs.into_iter().map(|r| r * 3).collect()
+        });
+        let resp = c.submit_within(5, Duration::from_secs(5)).expect("ample deadline");
+        assert_eq!(resp, 15);
+    }
+
+    #[test]
+    fn expired_requests_withdraw_with_a_typed_error() {
+        // A kernel slower than the deadline, and a policy whose
+        // max_wait exceeds it too: the submitter's deadline fires
+        // while the request is still queued (nobody ever flushes).
+        let policy = CoalescePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(100),
+            queue_depth: 64,
+        };
+        let c = Coalescer::new(policy, |reqs: Vec<u64>| reqs);
+        let before = tiptoe_obs::metrics().counter("net.coalesce.abandoned").get();
+        let err = c.submit_within(1, Duration::from_millis(5)).expect_err("deadline expires");
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err:?}");
+        assert!(tiptoe_obs::metrics().counter("net.coalesce.abandoned").get() > before);
+        // The withdrawn request must not leak into the next batch.
+        assert_eq!(c.submit(7), 7, "queue is clean after withdrawal");
+    }
+
+    #[test]
+    fn crashed_lanes_fail_over_to_a_fresh_flush() {
+        let crash_next = AtomicUsize::new(1);
+        let c = Coalescer::new(CoalescePolicy::default(), |reqs: Vec<u64>| {
+            if crash_next.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v.saturating_sub(1)))
+                .expect("update")
+                > 0
+            {
+                panic!("injected lane crash");
+            }
+            reqs.into_iter().map(|r| r + 1).collect()
+        });
+        let before = tiptoe_obs::metrics().counter("net.coalesce.lane_crashes").get();
+        // First flush crashes; the submitter re-enqueues and the
+        // retry flush answers correctly.
+        assert_eq!(c.submit(41), 42);
+        assert!(tiptoe_obs::metrics().counter("net.coalesce.lane_crashes").get() > before);
+    }
+
+    #[test]
+    fn permanently_crashed_lanes_return_a_typed_error() {
+        let c: Coalescer<'_, u64, u64> =
+            Coalescer::new(CoalescePolicy::default(), |_reqs| panic!("kernel always crashes"));
+        let err = c.submit_within(1, Duration::from_secs(10)).expect_err("lane never recovers");
+        assert!(
+            matches!(err, ServeError::LaneFailed { crashes } if crashes == MAX_LANE_RETRIES + 1),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn invalid_policies_are_rejected() {
         for bad in [
             CoalescePolicy { max_batch: 0, ..CoalescePolicy::default() },
             CoalescePolicy { max_wait: Duration::ZERO, ..CoalescePolicy::default() },
             CoalescePolicy { max_batch: 8, queue_depth: 4, ..CoalescePolicy::default() },
         ] {
-            assert!(std::panic::catch_unwind(move || bad.validate()).is_err(), "{bad:?}");
+            assert!(bad.validate().is_err(), "{bad:?}");
         }
+        assert!(CoalescePolicy::default().validate().is_ok());
     }
 }

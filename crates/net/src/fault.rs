@@ -37,6 +37,7 @@ use std::time::Duration;
 
 use tiptoe_math::wire::{WireError, WireReader, WireWriter};
 
+use crate::overload::{ConfigError, ServeError, ShardGate};
 use crate::{timed, ParallelTiming};
 
 /// Hard cap on an envelope payload (bounds allocation from hostile
@@ -187,6 +188,9 @@ pub struct FaultPlan {
     sticky: Vec<(usize, FaultKind)>,
     /// Faults applied at one specific `(shard, attempt)` address.
     once: Vec<(usize, u32, FaultKind)>,
+    /// AZ-correlated crash groups: every member of a group crashed
+    /// together (members also appear in `sticky`).
+    correlated: Vec<Vec<usize>>,
 }
 
 impl FaultPlan {
@@ -229,6 +233,24 @@ impl FaultPlan {
             self.once.push((shard, attempt, FaultKind::Crash));
         }
         self
+    }
+
+    /// An AZ-correlated crash: every shard in `group` shares a fate —
+    /// one availability-zone failure takes all of them down at once
+    /// (the cloud failure mode independent per-shard rates cannot
+    /// model). Members crash on every attempt, and the group is
+    /// recorded for [`FaultPlan::correlated_groups`].
+    pub fn correlated_crash(mut self, group: &[usize]) -> Self {
+        for &shard in group {
+            self.sticky.push((shard, FaultKind::Crash));
+        }
+        self.correlated.push(group.to_vec());
+        self
+    }
+
+    /// The AZ-correlated crash groups injected into this plan.
+    pub fn correlated_groups(&self) -> &[Vec<usize>] {
+        &self.correlated
     }
 
     /// Whether this plan can never inject a fault.
@@ -362,16 +384,33 @@ impl FaultPolicy {
 
     /// Checks internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the timeout is zero or exceeds the deadline, or a
-    /// hedge would launch after the attempt already timed out.
-    pub fn validate(&self) {
-        assert!(self.attempt_timeout > Duration::ZERO, "attempt timeout must be positive");
-        assert!(self.attempt_timeout <= self.deadline, "deadline shorter than one attempt");
-        if let Some(h) = self.hedge_after {
-            assert!(h < self.attempt_timeout, "hedge must launch before the attempt times out");
+    /// [`ConfigError`] if the timeout is zero or exceeds the
+    /// deadline, or a hedge would launch after the attempt already
+    /// timed out.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.attempt_timeout == Duration::ZERO {
+            return Err(ConfigError {
+                field: "fault_policy.attempt_timeout",
+                reason: "attempt timeout must be positive",
+            });
         }
+        if self.attempt_timeout > self.deadline {
+            return Err(ConfigError {
+                field: "fault_policy.deadline",
+                reason: "deadline shorter than one attempt",
+            });
+        }
+        if let Some(h) = self.hedge_after {
+            if h >= self.attempt_timeout {
+                return Err(ConfigError {
+                    field: "fault_policy.hedge_after",
+                    reason: "hedge must launch before the attempt times out",
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -447,10 +486,13 @@ enum Delivery<R> {
 /// [`crate::simulate_parallel`] on the query path.
 ///
 /// `serve` produces shard `idx`'s raw response payload (the worker
-/// compute); the dispatcher seals it in the checksummed envelope,
-/// injects any planned fault, verifies the envelope, and hands the
-/// payload to `parse`. A shard whose attempts are exhausted (or whose
-/// deadline is spent) yields `None` and the caller degrades.
+/// compute) or fails typed (e.g. a coalescer lane refused the request
+/// within the query's deadline budget — a serve error aborts the
+/// whole dispatch, since the query can no longer finish in budget);
+/// the dispatcher seals the payload in the checksummed envelope,
+/// injects any planned fault, verifies the envelope, and hands it to
+/// `parse`. A shard whose attempts are exhausted (or whose deadline
+/// is spent) yields `None` and the caller degrades.
 ///
 /// `shard_base` offsets the plan's shard address space, so several
 /// services can share one plan (the ranking shards take `0..W`, the
@@ -458,15 +500,51 @@ enum Delivery<R> {
 ///
 /// Timing is virtual (see the module docs) and deterministic in the
 /// plan wherever fault delays are expressed as fixed `extra` delays.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidPolicy`] on an invalid policy; any
+/// [`ServeError`] from `serve` is propagated.
 pub fn dispatch_faulty<T, R>(
     shards: &[T],
     shard_base: usize,
     plan: &FaultPlan,
     policy: &FaultPolicy,
-    mut serve: impl FnMut(usize, &T) -> Vec<u8>,
+    serve: impl FnMut(usize, &T) -> Result<Vec<u8>, ServeError>,
+    parse: impl FnMut(usize, &[u8]) -> Result<R, WireError>,
+) -> Result<(Vec<Option<R>>, FaultReport), ServeError> {
+    dispatch_faulty_gated(shards, shard_base, plan, policy, None, serve, parse)
+}
+
+/// [`dispatch_faulty`] with per-shard circuit-breaker gates: a shard
+/// gated [`ShardGate::Skip`] is not dispatched at all — it is
+/// reported as failed with zero attempts and zero wall (the breaker
+/// already knows it is down; waiting out its timeouts again would
+/// just burn the query's deadline budget), and the query degrades to
+/// survivor-subset decryption over the remaining shards.
+/// [`ShardGate::Serve`] and [`ShardGate::Probe`] dispatch normally.
+///
+/// # Errors
+///
+/// As [`dispatch_faulty`].
+///
+/// # Panics
+///
+/// Panics if `gates` is provided with a length other than
+/// `shards.len()`.
+pub fn dispatch_faulty_gated<T, R>(
+    shards: &[T],
+    shard_base: usize,
+    plan: &FaultPlan,
+    policy: &FaultPolicy,
+    gates: Option<&[ShardGate]>,
+    mut serve: impl FnMut(usize, &T) -> Result<Vec<u8>, ServeError>,
     mut parse: impl FnMut(usize, &[u8]) -> Result<R, WireError>,
-) -> (Vec<Option<R>>, FaultReport) {
-    policy.validate();
+) -> Result<(Vec<Option<R>>, FaultReport), ServeError> {
+    policy.validate()?;
+    if let Some(g) = gates {
+        assert_eq!(g.len(), shards.len(), "one gate per shard");
+    }
     let mut report = FaultReport::default();
     let mut results: Vec<Option<R>> = Vec::with_capacity(shards.len());
     let mut cpu_total = Duration::ZERO;
@@ -476,6 +554,20 @@ pub fn dispatch_faulty<T, R>(
         let mut span = tiptoe_obs::span("net.shard");
         if tiptoe_obs::enabled() {
             span.set_label(format!("{}", shard_base + idx));
+        }
+        if gates.map_or(ShardGate::Serve, |g| g[idx]) == ShardGate::Skip {
+            span.attr_u64("attempts", 0);
+            span.attr_u64("skipped", 1);
+            span.attr_u64("ok", 0);
+            drop(span);
+            report.shards.push(ShardReport {
+                ok: false,
+                attempts: 0,
+                hedged: false,
+                wall: Duration::ZERO,
+            });
+            results.push(None);
+            continue;
         }
         let mut shard_wall = Duration::ZERO;
         let mut shard_cpu = Duration::ZERO;
@@ -494,7 +586,7 @@ pub fn dispatch_faulty<T, R>(
 
             // Primary attempt.
             let (primary, cpu) =
-                run_attempt(idx, shard, attempts, shard_base, plan, policy, &mut serve, &mut parse);
+                run_attempt(idx, shard, attempts, shard_base, plan, policy, &mut serve, &mut parse)?;
             shard_cpu += cpu;
             let primary_fail_at = match &primary {
                 Delivery::Ok { .. } => None,
@@ -528,7 +620,7 @@ pub fn dispatch_faulty<T, R>(
                         policy,
                         &mut serve,
                         &mut parse,
-                    );
+                    )?;
                     shard_cpu += hcpu;
                     match backup {
                         Delivery::Ok { value: v, at } => {
@@ -587,7 +679,7 @@ pub fn dispatch_faulty<T, R>(
 
     report.timing = ParallelTiming { wall: wall_max, cpu: cpu_total };
     mirror_report_metrics(&report);
-    (results, report)
+    Ok((results, report))
 }
 
 /// Folds one dispatch's [`FaultReport`] counters into the global
@@ -610,7 +702,8 @@ fn mirror_report_metrics(report: &FaultReport) {
 type ParseFn<'a, R> = &'a mut dyn FnMut(usize, &[u8]) -> Result<R, WireError>;
 
 /// Executes one attempt (identified by its plan address) in virtual
-/// time; returns the delivery outcome and the real CPU spent.
+/// time; returns the delivery outcome and the real CPU spent, or
+/// propagates a typed serve failure (which aborts the dispatch).
 #[allow(clippy::too_many_arguments)]
 fn run_attempt<T, R>(
     idx: usize,
@@ -619,9 +712,9 @@ fn run_attempt<T, R>(
     shard_base: usize,
     plan: &FaultPlan,
     policy: &FaultPolicy,
-    serve: &mut impl FnMut(usize, &T) -> Vec<u8>,
+    serve: &mut impl FnMut(usize, &T) -> Result<Vec<u8>, ServeError>,
     parse: &mut impl FnMut(usize, &[u8]) -> Result<R, WireError>,
-) -> (Delivery<R>, Duration) {
+) -> Result<(Delivery<R>, Duration), ServeError> {
     let plan_shard = shard_base + idx;
     let deliver = |payload: Vec<u8>, at: Duration, parse: ParseFn<'_, R>| {
         let sealed = seal(&payload);
@@ -632,44 +725,46 @@ fn run_attempt<T, R>(
         }
     };
     match plan.fault_for(plan_shard, attempt_no) {
-        Some(FaultKind::Crash) => (Delivery::TimedOut, Duration::ZERO),
+        Some(FaultKind::Crash) => Ok((Delivery::TimedOut, Duration::ZERO)),
         Some(FaultKind::Straggle { factor, extra }) => {
             let (payload, t) = timed(|| serve(idx, shard));
+            let payload = payload?;
             let virtual_t = t.mul_f64(factor.max(0.0)) + extra;
             if virtual_t > policy.attempt_timeout {
-                (Delivery::TimedOut, t)
+                Ok((Delivery::TimedOut, t))
             } else {
-                (deliver(payload, virtual_t, parse), t)
+                Ok((deliver(payload, virtual_t, parse), t))
             }
         }
         Some(FaultKind::Corrupt) => {
             let (payload, t) = timed(|| serve(idx, shard));
-            let mut sealed = seal(&payload);
+            let mut sealed = seal(&payload?);
             corrupt_in_place(&mut sealed, plan.seed(), plan_shard, attempt_no);
             let bytes = sealed.len() as u64;
             let outcome = match open(&sealed).and_then(|p| parse(idx, p)) {
                 Ok(value) => Delivery::Ok { value, at: t },
                 Err(_) => Delivery::Bad { at: t, bytes },
             };
-            (outcome, t)
+            Ok((outcome, t))
         }
         Some(FaultKind::Truncate) => {
             let (payload, t) = timed(|| serve(idx, shard));
-            let sealed = seal(&payload);
+            let sealed = seal(&payload?);
             let cut = &sealed[..sealed.len() / 2];
             let bytes = cut.len() as u64;
             let outcome = match open(cut).and_then(|p| parse(idx, p)) {
                 Ok(value) => Delivery::Ok { value, at: t },
                 Err(_) => Delivery::Bad { at: t, bytes },
             };
-            (outcome, t)
+            Ok((outcome, t))
         }
         None => {
             let (payload, t) = timed(|| serve(idx, shard));
+            let payload = payload?;
             if t > policy.attempt_timeout {
-                (Delivery::TimedOut, t)
+                Ok((Delivery::TimedOut, t))
             } else {
-                (deliver(payload, t, parse), t)
+                Ok((deliver(payload, t, parse), t))
             }
         }
     }
@@ -696,10 +791,10 @@ mod tests {
         (0..n as u64).collect()
     }
 
-    fn serve_ok(_: usize, s: &u64) -> Vec<u8> {
+    fn serve_ok(_: usize, s: &u64) -> Result<Vec<u8>, ServeError> {
         let mut w = WireWriter::new();
         w.put_u64(*s * 10);
-        w.finish()
+        Ok(w.finish())
     }
 
     fn parse_ok(_: usize, p: &[u8]) -> Result<u64, WireError> {
@@ -743,7 +838,8 @@ mod tests {
             &FaultPolicy::tolerant(),
             serve_ok,
             parse_ok,
-        );
+        )
+        .expect("dispatch");
         assert_eq!(results, vec![Some(0), Some(10), Some(20), Some(30)]);
         assert!(report.all_ok());
         assert_eq!(report.retries, 0);
@@ -758,7 +854,7 @@ mod tests {
         let plan = FaultPlan::none().crash_shard(1);
         let mut policy = FaultPolicy::tolerant();
         policy.hedge_after = None;
-        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(results[0], Some(0));
         assert_eq!(results[1], None);
         assert_eq!(results[2], Some(20));
@@ -777,7 +873,7 @@ mod tests {
         let plan = FaultPlan::none().flaky_then_recover(0, 2);
         let mut policy = FaultPolicy::tolerant();
         policy.hedge_after = None;
-        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(results, vec![Some(0), Some(10)]);
         assert!(report.all_ok());
         assert_eq!(report.retries, 2);
@@ -795,7 +891,7 @@ mod tests {
             let mut policy = FaultPolicy::tolerant();
             policy.hedge_after = None;
             let (results, report) =
-                dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+                dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
             assert_eq!(results, vec![Some(0), Some(10)], "{kind:?}");
             assert_eq!(report.corrupted, 1, "{kind:?}");
             assert_eq!(report.retries, 1, "{kind:?}");
@@ -810,7 +906,7 @@ mod tests {
         // so the primary is abandoned and the hedge (healthy) wins.
         let plan = FaultPlan::none().straggle_shard(2, 1.0, Duration::from_secs(10));
         let policy = FaultPolicy::tolerant();
-        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         // The sticky straggler also delays the hedge, which still
         // arrives... no: sticky applies to every attempt, so the hedge
         // straggles too and the shard exhausts its attempts.
@@ -825,7 +921,8 @@ mod tests {
             0,
             FaultKind::Straggle { factor: 10.0, extra: Duration::from_secs(10) },
         );
-        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (results, report) =
+            dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(results[2], Some(20));
         assert!(report.shards[2].ok);
         assert_eq!(report.shards[2].attempts, 1, "hedge consumed no retry");
@@ -843,7 +940,7 @@ mod tests {
         policy.hedge_after = None;
         // 60 ms fixed virtual delay < 250 ms timeout: arrives, verified.
         let plan = FaultPlan::none().straggle_shard(0, 1.0, Duration::from_millis(60));
-        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(results, vec![Some(0), Some(10)]);
         assert!(report.all_ok());
         assert!(report.shards[0].wall >= Duration::from_millis(60));
@@ -873,9 +970,10 @@ mod tests {
         let plan = FaultPlan::none().crash_shard(5);
         let mut policy = FaultPolicy::tolerant();
         policy.hedge_after = None;
-        let (hit, _) = dispatch_faulty(&shards, 5, &plan, &policy, serve_ok, parse_ok);
+        let (hit, _) =
+            dispatch_faulty(&shards, 5, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(hit, vec![None]);
-        let (miss, _) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (miss, _) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(miss, vec![Some(0)]);
     }
 
@@ -887,7 +985,7 @@ mod tests {
         policy.hedge_after = None;
         policy.max_retries = 100;
         policy.deadline = Duration::from_millis(600);
-        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok);
+        let (results, report) = dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
         assert_eq!(results, vec![None]);
         // 600 ms budget / 250 ms timeouts: at most 3 attempts launch.
         assert!(report.shards[0].attempts <= 3, "{}", report.shards[0].attempts);
@@ -905,7 +1003,8 @@ mod tests {
         // response-time histograms with observed (fast) latencies.
         for _ in 0..20 {
             let (_, report) =
-                dispatch_faulty(&shards, 7000, &FaultPlan::none(), &fixed, serve_ok, parse_ok);
+                dispatch_faulty(&shards, 7000, &FaultPlan::none(), &fixed, serve_ok, parse_ok)
+                    .expect("dispatch");
             assert!(report.all_ok());
         }
         let observed = shard_response_histogram(7002);
@@ -914,7 +1013,7 @@ mod tests {
         // Auto-tune: hedge at the observed p95 instead of the fixed
         // 100 ms default (set for wide-area latencies).
         let tuned = fixed.hedge_from_histogram(&observed);
-        tuned.validate();
+        tuned.validate().expect("tuned policy stays valid");
         let tuned_hedge = tuned.hedge_after.expect("tuned hedge set");
         assert!(
             tuned_hedge < fixed.hedge_after.expect("fixed hedge set"),
@@ -933,9 +1032,11 @@ mod tests {
             )
         };
         let (fixed_res, fixed_report) =
-            dispatch_faulty(&shards, 7000, &straggler(), &fixed, serve_ok, parse_ok);
+            dispatch_faulty(&shards, 7000, &straggler(), &fixed, serve_ok, parse_ok)
+                .expect("dispatch");
         let (tuned_res, tuned_report) =
-            dispatch_faulty(&shards, 7000, &straggler(), &tuned, serve_ok, parse_ok);
+            dispatch_faulty(&shards, 7000, &straggler(), &tuned, serve_ok, parse_ok)
+                .expect("dispatch");
         assert_eq!(fixed_res[2], Some(20));
         assert_eq!(tuned_res[2], Some(20));
         assert!(
@@ -952,14 +1053,76 @@ mod tests {
 
     #[test]
     fn policy_validation_rejects_nonsense() {
+        assert!(FaultPolicy::tolerant().validate().is_ok());
         let mut p = FaultPolicy::tolerant();
         p.attempt_timeout = Duration::ZERO;
-        assert!(std::panic::catch_unwind(move || p.validate()).is_err());
+        assert_eq!(p.validate().expect_err("zero timeout").field, "fault_policy.attempt_timeout");
         let mut p = FaultPolicy::tolerant();
         p.deadline = Duration::from_millis(1);
-        assert!(std::panic::catch_unwind(move || p.validate()).is_err());
+        assert_eq!(p.validate().expect_err("tiny deadline").field, "fault_policy.deadline");
         let mut p = FaultPolicy::tolerant();
         p.hedge_after = Some(p.attempt_timeout);
-        assert!(std::panic::catch_unwind(move || p.validate()).is_err());
+        assert_eq!(p.validate().expect_err("late hedge").field, "fault_policy.hedge_after");
+        // An invalid policy surfaces through dispatch as a typed
+        // error, not a panic.
+        let err = dispatch_faulty(&echo_shards(1), 0, &FaultPlan::none(), &p, serve_ok, parse_ok)
+            .expect_err("invalid policy rejected");
+        assert!(matches!(err, ServeError::InvalidPolicy(_)), "{err:?}");
+    }
+
+    #[test]
+    fn correlated_crash_takes_down_the_whole_group() {
+        let shards = echo_shards(4);
+        let plan = FaultPlan::none().correlated_crash(&[1, 2]);
+        assert!(!plan.is_benign());
+        assert_eq!(plan.correlated_groups(), &[vec![1, 2]]);
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        policy.max_retries = 0;
+        let (results, report) =
+            dispatch_faulty(&shards, 0, &plan, &policy, serve_ok, parse_ok).expect("dispatch");
+        assert_eq!(results, vec![Some(0), None, None, Some(30)]);
+        assert_eq!(report.failed_shards(), vec![1, 2], "the whole AZ fails together");
+    }
+
+    #[test]
+    fn skip_gates_fail_shards_without_burning_attempts() {
+        let shards = echo_shards(3);
+        let gates = [ShardGate::Serve, ShardGate::Skip, ShardGate::Probe];
+        let (results, report) = dispatch_faulty_gated(
+            &shards,
+            0,
+            &FaultPlan::none(),
+            &FaultPolicy::tolerant(),
+            Some(&gates),
+            serve_ok,
+            parse_ok,
+        )
+        .expect("dispatch");
+        assert_eq!(results, vec![Some(0), None, Some(20)]);
+        let skipped = &report.shards[1];
+        assert!(!skipped.ok);
+        assert_eq!(skipped.attempts, 0, "skipped shards launch no attempts");
+        assert_eq!(skipped.wall, Duration::ZERO, "skipping costs no deadline budget");
+        assert!(report.shards[0].ok && report.shards[2].ok, "served and probed shards answer");
+    }
+
+    #[test]
+    fn serve_errors_abort_the_dispatch() {
+        let shards = echo_shards(2);
+        let budget_err = ServeError::DeadlineExceeded {
+            budget: Duration::from_millis(5),
+            spent: Duration::from_millis(9),
+        };
+        let err = dispatch_faulty(
+            &shards,
+            0,
+            &FaultPlan::none(),
+            &FaultPolicy::tolerant(),
+            |idx, s| if idx == 1 { Err(budget_err) } else { serve_ok(idx, s) },
+            parse_ok,
+        )
+        .expect_err("serve failure propagates");
+        assert_eq!(err, budget_err);
     }
 }

@@ -22,17 +22,23 @@
 
 pub mod coalesce;
 pub mod fault;
+pub mod overload;
 pub mod pool;
 pub mod service;
 
-pub use coalesce::{CoalescePolicy, Coalescer};
+pub use coalesce::{CoalescePolicy, Coalescer, MAX_LANE_RETRIES};
 pub use fault::{
-    dispatch_faulty, open, seal, shard_response_histogram, FaultKind, FaultPlan, FaultPolicy,
-    FaultRates, FaultReport, ShardReport,
+    dispatch_faulty, dispatch_faulty_gated, open, seal, shard_response_histogram, FaultKind,
+    FaultPlan, FaultPolicy, FaultRates, FaultReport, ShardReport,
+};
+pub use overload::{
+    AdmissionController, AdmissionPermit, AdmissionPolicy, BreakerBank, BreakerPolicy,
+    BreakerState, ConfigError, DeadlineBudget, ServeError, ShardGate,
 };
 pub use pool::WorkerPool;
-pub use service::{dispatch, Dispatched, Ledger, Service};
+pub use service::{dispatch, DispatchContext, Dispatched, Ledger, Service};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -114,6 +120,7 @@ pub enum Direction {
 #[derive(Debug, Default)]
 pub struct Transcript {
     entries: Mutex<Vec<(Phase, Direction, u64)>>,
+    sheds: AtomicU64,
 }
 
 impl Transcript {
@@ -166,9 +173,24 @@ impl Transcript {
         self.total(Direction::Upload) + self.total(Direction::Download)
     }
 
+    /// Records a query shed by admission control before any bytes
+    /// crossed the wire. A shed query has *zero* transcript entries —
+    /// the fixed wire footprint only applies to admitted queries —
+    /// but its rejection is accounted here and in the `net.shed`
+    /// counter so overload behavior is observable.
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries shed since the last [`Transcript::reset`].
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
     /// Clears the ledger (e.g. between measured queries).
     pub fn reset(&self) {
         self.entries.lock().expect("transcript lock").clear();
+        self.sheds.store(0, Ordering::Relaxed);
     }
 
     /// Attributes one recorded message's bytes across the clusters it
@@ -284,8 +306,12 @@ mod tests {
         assert_eq!(t.phase_total(Phase::Ranking, Direction::Upload), 60);
         assert_eq!(t.phases(), vec![Phase::Token, Phase::Ranking]);
         assert_eq!(t.grand_total(), 185);
+        t.record_shed();
+        t.record_shed();
+        assert_eq!(t.sheds(), 2);
         t.reset();
         assert_eq!(t.grand_total(), 0);
+        assert_eq!(t.sheds(), 0);
     }
 
     #[test]

@@ -8,14 +8,22 @@
 //! responses are collected by the caller (the coordinator). Services
 //! use it for the multi-client throughput driver, where concurrency is
 //! the point rather than a measurement hazard.
+//!
+//! Workers are **panic-safe**: a handler panic is caught inside the
+//! worker loop, reported as a poisoned (`None`) response, and counted
+//! in `net.pool.poisoned` — the thread survives to serve the next
+//! request, so one bad request cannot wedge every later fan-out
+//! behind a dead worker.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 
-/// One in-flight request: the payload plus a reply channel.
+/// One in-flight request: the payload plus a reply channel. A `None`
+/// response means the handler panicked on this request.
 struct Job<Req, Resp> {
     request: Req,
-    reply: Sender<(usize, Resp)>,
+    reply: Sender<(usize, Option<Resp>)>,
 }
 
 /// A pool of worker threads, one per shard.
@@ -46,10 +54,15 @@ impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
                 .spawn(move || {
                     // The worker loop ends when every sender is dropped.
                     while let Ok(job) = rx.recv() {
-                        let resp = handler(idx, job.request);
+                        let Job { request, reply } = job;
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| handler(idx, request)));
+                        if outcome.is_err() {
+                            tiptoe_obs::metrics().counter("net.pool.poisoned").inc();
+                        }
                         // A dropped reply receiver just means the
                         // coordinator gave up on this fan-out.
-                        let _ = job.reply.send((idx, resp));
+                        let _ = reply.send((idx, outcome.ok()));
                     }
                 })
                 .expect("spawning a worker thread");
@@ -69,8 +82,26 @@ impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
     ///
     /// # Panics
     ///
-    /// Panics if `requests.len() != workers()` or a worker died.
+    /// Panics if `requests.len() != workers()`, or if a handler
+    /// panicked (use [`WorkerPool::try_scatter_gather`] to survive
+    /// poisoned workers).
     pub fn scatter_gather(&self, requests: Vec<Req>) -> Vec<Resp> {
+        self.try_scatter_gather(requests)
+            .into_iter()
+            .map(|r| r.expect("worker handler must not panic"))
+            .collect()
+    }
+
+    /// Panic-tolerant fan-out: like [`WorkerPool::scatter_gather`],
+    /// but a worker whose handler panicked yields `None` instead of
+    /// propagating the panic — the chaos-safe entry point for callers
+    /// that can degrade (the worker thread itself survives and keeps
+    /// serving later rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != workers()`.
+    pub fn try_scatter_gather(&self, requests: Vec<Req>) -> Vec<Option<Resp>> {
         assert_eq!(requests.len(), self.workers(), "one request per worker");
         let (reply_tx, reply_rx) = channel();
         for (sender, request) in self.senders.iter().zip(requests) {
@@ -82,23 +113,24 @@ impl<Req: Send + 'static, Resp: Send + 'static> WorkerPool<Req, Resp> {
         let mut responses: Vec<Option<Resp>> = (0..self.workers()).map(|_| None).collect();
         for _ in 0..self.workers() {
             let (idx, resp) = reply_rx.recv().expect("worker thread alive");
-            responses[idx] = Some(resp);
+            responses[idx] = resp;
         }
-        responses.into_iter().map(|r| r.expect("every worker replied")).collect()
+        responses
     }
 
     /// Sends one request to a specific worker and waits for the reply.
     ///
     /// # Panics
     ///
-    /// Panics if `worker` is out of range or the worker died.
+    /// Panics if `worker` is out of range or the handler panicked on
+    /// this request.
     pub fn call(&self, worker: usize, request: Req) -> Resp {
         assert!(worker < self.workers(), "worker index out of range");
         let (reply_tx, reply_rx) = channel();
         self.senders[worker]
             .send(Job { request, reply: reply_tx })
             .expect("worker thread alive");
-        reply_rx.recv().expect("worker thread alive").1
+        reply_rx.recv().expect("worker thread alive").1.expect("worker handler must not panic")
     }
 
     /// Shuts the pool down, joining every worker.
@@ -152,5 +184,24 @@ mod tests {
     fn shutdown_joins_cleanly() {
         let pool: WorkerPool<u8, u8> = WorkerPool::spawn(2, |_, x| x);
         pool.shutdown(); // Must not hang or panic.
+    }
+
+    #[test]
+    fn poisoned_workers_survive_and_keep_serving() {
+        // Requests of 13 poison their worker; everything else echoes.
+        let pool: WorkerPool<u64, u64> = WorkerPool::spawn(3, |_, x| {
+            assert_ne!(x, 13, "injected handler panic");
+            x
+        });
+        let before = tiptoe_obs::metrics().counter("net.pool.poisoned").get();
+        let out = pool.try_scatter_gather(vec![1, 13, 3]);
+        assert_eq!(out, vec![Some(1), None, Some(3)], "only the poisoned slot degrades");
+        assert!(tiptoe_obs::metrics().counter("net.pool.poisoned").get() > before);
+        // The poisoned worker's thread survived: the next healthy
+        // round gets full answers, and shutdown joins cleanly.
+        let out = pool.try_scatter_gather(vec![4, 5, 6]);
+        assert_eq!(out, vec![Some(4), Some(5), Some(6)]);
+        assert_eq!(pool.call(1, 99), 99);
+        pool.shutdown();
     }
 }

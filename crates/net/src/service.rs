@@ -30,9 +30,11 @@
 
 use tiptoe_math::wire::WireError;
 
+use crate::fault::dispatch_faulty_gated;
+use crate::overload::{BreakerBank, DeadlineBudget, ServeError, ShardGate};
 use crate::{
-    dispatch_faulty, simulate_parallel, Direction, FaultPlan, FaultPolicy, FaultReport,
-    ParallelTiming, Phase, Transcript,
+    simulate_parallel, Direction, FaultPlan, FaultPolicy, FaultReport, ParallelTiming, Phase,
+    Transcript,
 };
 
 /// A typed, sharded request/response service.
@@ -64,7 +66,14 @@ pub trait Service {
     /// Computes shard `idx`'s answer and serializes it as a wire
     /// payload (sealed in the checksummed envelope on the fault-aware
     /// path).
-    fn serve(&self, idx: usize, req: &Self::Request) -> Vec<u8>;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] when the shard cannot answer within
+    /// the query's deadline budget (e.g. its coalescer lane refused
+    /// the request in time) — the error aborts the whole dispatch
+    /// with a typed failure rather than degrading silently.
+    fn serve(&self, idx: usize, req: &Self::Request) -> Result<Vec<u8>, ServeError>;
 
     /// Parses and validates one shard's payload.
     ///
@@ -122,30 +131,100 @@ pub struct Dispatched<R> {
     pub report: Option<FaultReport>,
 }
 
+/// Everything that shapes *how* one dispatch runs: the fault plan,
+/// the recovery policy, and the optional overload-safety layers — a
+/// query's deadline budget and the plane's per-shard circuit
+/// breakers.
+///
+/// Built with [`DispatchContext::new`] plus the `with_*` builders, so
+/// call sites only mention the layers they use.
+#[derive(Clone, Copy)]
+pub struct DispatchContext<'a> {
+    /// The deterministic fault schedule.
+    pub plan: &'a FaultPlan,
+    /// The coordinator's recovery policy.
+    pub policy: &'a FaultPolicy,
+    /// The query's deadline budget, if admission control issued one.
+    /// Checked before the fan-out (a query that cannot fit one more
+    /// attempt fails early) and charged with the fan-out's wall time
+    /// after.
+    pub budget: Option<&'a DeadlineBudget>,
+    /// The plane's circuit breakers, if any. Consulted and trained on
+    /// the fault-aware path only — a healthy-path dispatch neither
+    /// gates nor records, so fault-free serving stays bit-identical
+    /// and overhead-free.
+    pub breakers: Option<&'a BreakerBank>,
+}
+
+impl<'a> DispatchContext<'a> {
+    /// A context with no overload layers (the pre-overload behavior).
+    pub fn new(plan: &'a FaultPlan, policy: &'a FaultPolicy) -> Self {
+        Self { plan, policy, budget: None, breakers: None }
+    }
+
+    /// Attaches a deadline budget.
+    pub fn with_budget(mut self, budget: Option<&'a DeadlineBudget>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a circuit-breaker bank.
+    pub fn with_breakers(mut self, breakers: Option<&'a BreakerBank>) -> Self {
+        self.breakers = breakers;
+        self
+    }
+}
+
 /// Dispatches one request through a [`Service`]: accounting, spans,
-/// fan-out, and fault recovery in one place.
+/// fan-out, fault recovery, and overload safety in one place.
 ///
-/// Middleware order (outermost first): upload accounting →
-/// outer span → per-shard fan-out (healthy or fault-aware) →
-/// combine → download + retry accounting.
+/// Middleware order (outermost first): budget check → upload
+/// accounting → outer span → breaker gating → per-shard fan-out
+/// (healthy or fault-aware) → breaker training → combine → download +
+/// retry accounting → budget charge.
 ///
-/// `shard_base` offsets the fault plan's shard address space so
-/// several services can share one plan (ranking takes `0..W`, the URL
-/// server `W`).
+/// `shard_base` offsets the fault plan's (and breaker bank's) shard
+/// address space so several services can share one plan (ranking
+/// takes `0..W`, the URL server `W`).
+///
+/// Without a budget and with an infallible service, this function
+/// cannot fail on a valid policy — breakers alone only *skip* shards
+/// (degrading the combine), never error.
+///
+/// # Errors
+///
+/// - [`ServeError::DeadlineExceeded`] if the query's budget cannot
+///   fit one more attempt, or the fan-out's wall time overdraws it.
+/// - [`ServeError::InvalidPolicy`] on an invalid enabled policy.
+/// - Any typed error the service's `serve` raises.
 ///
 /// # Panics
 ///
-/// Panics if an enabled policy is invalid, or (healthy path only) if
-/// a shard's own payload fails its own parser — that is a programming
-/// error, not a fault.
+/// Panics (healthy path only) if a shard's own payload fails its own
+/// parser — that is a programming error, not a fault.
 pub fn dispatch<S: Service>(
     svc: &S,
     req: &S::Request,
     shard_base: usize,
-    plan: &FaultPlan,
-    policy: &FaultPolicy,
+    ctx: DispatchContext<'_>,
     ledger: Option<&Ledger<'_>>,
-) -> Dispatched<S::Response> {
+) -> Result<Dispatched<S::Response>, ServeError> {
+    let policy = ctx.policy;
+    // Budget gate: a query that cannot fit even one more attempt in
+    // its remaining budget is rejected before any bytes move.
+    if let Some(b) = ctx.budget {
+        let remaining = b.check()?;
+        if policy.enabled && remaining < policy.attempt_timeout {
+            return Err(ServeError::DeadlineExceeded { budget: b.total(), spent: b.spent() });
+        }
+    }
+    // The remaining budget also caps the per-shard deadline, so a
+    // late-phase fan-out cannot spend time the query no longer has.
+    let mut eff_policy = *policy;
+    if let (Some(b), true) = (ctx.budget, policy.enabled) {
+        eff_policy.deadline = eff_policy.deadline.min(b.remaining().max(policy.attempt_timeout));
+    }
+
     if let Some(l) = ledger {
         l.transcript.record_up(l.phase, l.up_bytes);
         if let Some(range) = svc.cluster_range() {
@@ -156,14 +235,32 @@ pub fn dispatch<S: Service>(
     let _outer = tiptoe_obs::span(svc.outer_span());
     let shard_ids: Vec<usize> = (0..svc.num_shards()).collect();
     let (parts, survivors, timing, report) = if policy.enabled {
-        let (parts, report) = dispatch_faulty(
+        // Circuit-breaker gating (fault-aware path only): open shards
+        // are skipped up front, rerouting the query to degraded-mode
+        // survivor-subset serving instead of waiting out timeouts.
+        let gates: Option<Vec<ShardGate>> = ctx
+            .breakers
+            .filter(|b| b.policy().enabled)
+            .map(|b| shard_ids.iter().map(|&i| b.gate(shard_base + i)).collect());
+        let (parts, report) = dispatch_faulty_gated(
             &shard_ids,
             shard_base,
-            plan,
-            policy,
+            ctx.plan,
+            &eff_policy,
+            gates.as_deref(),
             |idx, _| svc.serve(idx, req),
             |idx, payload| svc.parse(idx, payload),
-        );
+        )?;
+        // Train the breakers with every *served* outcome (skipped
+        // shards saw no traffic, so there is nothing to learn).
+        if let Some(bank) = ctx.breakers {
+            for (i, shard) in report.shards.iter().enumerate() {
+                let skipped = gates.as_ref().is_some_and(|g| g[i] == ShardGate::Skip);
+                if !skipped {
+                    bank.record(shard_base + i, shard.ok, shard.wall);
+                }
+            }
+        }
         let survivors: Vec<bool> = parts.iter().map(Option::is_some).collect();
         let timing = report.timing;
         (parts, survivors, timing, Some(report))
@@ -173,9 +270,11 @@ pub fn dispatch<S: Service>(
             if tiptoe_obs::enabled() {
                 span.set_label(format!("{idx}"));
             }
-            let payload = svc.serve(idx, req);
-            svc.parse(idx, &payload).expect("healthy shard payload must parse")
+            svc.serve(idx, req).map(|payload| {
+                svc.parse(idx, &payload).expect("healthy shard payload must parse")
+            })
         });
+        let parts = parts.into_iter().collect::<Result<Vec<_>, _>>()?;
         let survivors = vec![true; parts.len()];
         (parts.into_iter().map(Some).collect(), survivors, timing, None)
     };
@@ -193,7 +292,15 @@ pub fn dispatch<S: Service>(
         }
     }
 
-    Dispatched { response, survivors, timing, report }
+    // Charge the fan-out's (virtual) wall time. The charge can fail
+    // *after* the work — the bytes above stay accounted (they did
+    // cross the wire) but the caller gets a typed late failure
+    // instead of a response past its deadline promise.
+    if let Some(b) = ctx.budget {
+        b.charge(timing.wall)?;
+    }
+
+    Ok(Dispatched { response, survivors, timing, report })
 }
 
 #[cfg(test)]
@@ -226,10 +333,10 @@ mod tests {
             self.shards
         }
 
-        fn serve(&self, idx: usize, req: &u64) -> Vec<u8> {
+        fn serve(&self, idx: usize, req: &u64) -> Result<Vec<u8>, ServeError> {
             let mut w = WireWriter::new();
             w.put_u64(self.base + idx as u64 + req);
-            w.finish()
+            Ok(w.finish())
         }
 
         fn parse(&self, _idx: usize, payload: &[u8]) -> Result<u64, WireError> {
@@ -251,10 +358,14 @@ mod tests {
     #[test]
     fn healthy_and_faulty_paths_agree_on_benign_plans() {
         let svc = SumService { shards: 4, base: 100, clusters: None };
+        let plan = FaultPlan::none();
+        let healthy_policy = FaultPolicy::default();
+        let faulty_policy = FaultPolicy::tolerant();
         let healthy =
-            dispatch(&svc, &1, 0, &FaultPlan::none(), &FaultPolicy::default(), None);
-        let faulty =
-            dispatch(&svc, &1, 0, &FaultPlan::none(), &FaultPolicy::tolerant(), None);
+            dispatch(&svc, &1, 0, DispatchContext::new(&plan, &healthy_policy), None)
+                .expect("healthy dispatch");
+        let faulty = dispatch(&svc, &1, 0, DispatchContext::new(&plan, &faulty_policy), None)
+            .expect("faulty dispatch");
         assert_eq!(healthy.response, 101 + 102 + 103 + 104);
         assert_eq!(healthy.response, faulty.response);
         assert_eq!(healthy.survivors, vec![true; 4]);
@@ -269,7 +380,8 @@ mod tests {
         let plan = FaultPlan::none().crash_shard(1);
         let mut policy = FaultPolicy::tolerant();
         policy.hedge_after = None;
-        let d = dispatch(&svc, &0, 0, &plan, &policy, None);
+        let d = dispatch(&svc, &0, 0, DispatchContext::new(&plan, &policy), None)
+            .expect("dispatch");
         assert_eq!(d.response, 10 + 12, "crashed shard contributes nothing");
         assert_eq!(d.survivors, vec![true, false, true]);
         let report = d.report.expect("report");
@@ -292,7 +404,8 @@ mod tests {
         let plan = FaultPlan::none().with_fault(0, 0, crate::FaultKind::Corrupt);
         let mut policy = FaultPolicy::tolerant();
         policy.hedge_after = None;
-        let d = dispatch(&svc, &7, 0, &plan, &policy, Some(&ledger));
+        let d = dispatch(&svc, &7, 0, DispatchContext::new(&plan, &policy), Some(&ledger))
+            .expect("dispatch");
         assert_eq!(d.response, 7 + 8);
         assert_eq!(t.phase_total(Phase::Ranking, Direction::Upload), 640);
         assert_eq!(t.phase_total(Phase::Ranking, Direction::Download), 320);
@@ -313,7 +426,10 @@ mod tests {
             up_bytes: 10,
             down_bytes: 0,
         };
-        dispatch(&svc, &0, 0, &FaultPlan::none(), &FaultPolicy::default(), Some(&ledger));
+        let plan = FaultPlan::none();
+        let policy = FaultPolicy::default();
+        dispatch(&svc, &0, 0, DispatchContext::new(&plan, &policy), Some(&ledger))
+            .expect("dispatch");
         let m = tiptoe_obs::metrics();
         let per_cluster: Vec<u64> = (40..43)
             .map(|c| m.counter_with("net.cluster_bytes_up", Some(format!("c{c}"))).get())
@@ -321,5 +437,78 @@ mod tests {
         // 10 bytes over 3 clusters: 4 + 3 + 3, summing exactly.
         assert_eq!(per_cluster.iter().sum::<u64>(), 10);
         assert!(per_cluster.iter().all(|&b| b == 3 || b == 4), "{per_cluster:?}");
+    }
+
+    #[test]
+    fn exhausted_budgets_reject_before_any_work() {
+        use std::time::Duration;
+        let svc = SumService { shards: 2, base: 0, clusters: None };
+        let plan = FaultPlan::none();
+        let policy = FaultPolicy::tolerant();
+        let t = Transcript::new();
+        let ledger = Ledger {
+            transcript: &t,
+            phase: Phase::Ranking,
+            retry_phase: Phase::RankingRetries,
+            up_bytes: 100,
+            down_bytes: 100,
+        };
+        // Less than one attempt_timeout left: reject up front.
+        let budget = DeadlineBudget::new(Duration::from_millis(300));
+        budget.charge(Duration::from_millis(100)).expect("within budget");
+        let ctx = DispatchContext::new(&plan, &policy).with_budget(Some(&budget));
+        let err = dispatch(&svc, &1, 0, ctx, Some(&ledger)).expect_err("budget too thin");
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err:?}");
+        assert_eq!(t.grand_total(), 0, "rejected queries move no bytes");
+    }
+
+    #[test]
+    fn dispatch_charges_its_wall_time_to_the_budget() {
+        use std::time::Duration;
+        let svc = SumService { shards: 2, base: 0, clusters: None };
+        let plan = FaultPlan::none().straggle_shard(0, 1.0, Duration::from_millis(40));
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let budget = DeadlineBudget::new(Duration::from_secs(2));
+        let ctx = DispatchContext::new(&plan, &policy).with_budget(Some(&budget));
+        let d = dispatch(&svc, &1, 0, ctx, None).expect("within budget");
+        assert_eq!(d.response, 1 + 2);
+        assert!(
+            budget.spent() >= Duration::from_millis(40),
+            "fan-out wall {:?} charged to the budget (spent {:?})",
+            d.timing.wall,
+            budget.spent()
+        );
+    }
+
+    #[test]
+    fn open_breakers_skip_shards_and_degrade_the_combine() {
+        use crate::overload::{BreakerPolicy, BreakerState};
+        use std::time::Duration;
+        let svc = SumService { shards: 3, base: 10, clusters: None };
+        let plan = FaultPlan::none();
+        let mut policy = FaultPolicy::tolerant();
+        policy.hedge_after = None;
+        let breakers = BreakerBank::new(
+            BreakerPolicy { enabled: true, ..BreakerPolicy::default() },
+            svc.num_shards(),
+        );
+        // Trip shard 1's breaker by hand.
+        for _ in 0..3 {
+            breakers.record(1, false, Duration::from_millis(1));
+        }
+        assert_eq!(breakers.state(1), BreakerState::Open);
+        let ctx = DispatchContext::new(&plan, &policy).with_breakers(Some(&breakers));
+        let d = dispatch(&svc, &0, 0, ctx, None).expect("dispatch");
+        assert_eq!(d.response, 10 + 12, "open shard contributes nothing");
+        assert_eq!(d.survivors, vec![true, false, true]);
+        let report = d.report.expect("report");
+        assert_eq!(report.shards[1].attempts, 0, "skipped, not timed out");
+        assert_eq!(report.shards[1].wall, Duration::ZERO);
+        // The skip was fast: no timeout burned on the known-bad shard.
+        assert!(d.timing.wall < policy.attempt_timeout);
+        // The healthy shards' successes trained their breakers closed.
+        assert_eq!(breakers.state(0), BreakerState::Closed);
+        assert_eq!(breakers.state(2), BreakerState::Closed);
     }
 }

@@ -44,6 +44,18 @@ use std::time::{Duration, Instant};
 /// of atomic ops per query); only span recording is gated.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Span-tree sampling rate: trace 1-in-N queries (`1` = every query).
+/// [`begin_query`] rolls the sample; between queries the outcome is
+/// latched in [`SAMPLED`] so [`enabled`] stays one atomic load.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+
+/// Queries seen by [`begin_query`] since the sampling rate was set.
+static QUERY_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Whether the current query was sampled (true outside any query so
+/// ad-hoc spans still record when tracing is on).
+static SAMPLED: AtomicBool = AtomicBool::new(true);
+
 /// One recorded span: a node of the per-query span tree.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -111,10 +123,26 @@ fn thread_tid() -> u64 {
     })
 }
 
-/// Whether span recording is on.
+/// Whether span recording is on *for the current query* (the master
+/// switch gated by the per-query sampling decision).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) && SAMPLED.load(Ordering::Relaxed)
+}
+
+/// Sets the span-sampling rate: trace 1-in-`every` queries. `every`
+/// below 1 is clamped to 1 (every query). Resets the query counter so
+/// the next [`begin_query`] is sampled — deterministic for tests and
+/// benchmarks.
+pub fn set_span_sample(every: u64) {
+    SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+    QUERY_COUNTER.store(0, Ordering::Relaxed);
+    SAMPLED.store(true, Ordering::Relaxed);
+}
+
+/// The current span-sampling rate (1 = every query).
+pub fn span_sample() -> u64 {
+    SAMPLE_EVERY.load(Ordering::Relaxed).max(1)
 }
 
 /// Turns span recording on (without configuring an export path).
@@ -145,12 +173,20 @@ pub fn enable_with_path(path: impl Into<String>) {
     enable();
 }
 
-/// Reads `TIPTOE_TRACE`; a non-empty value enables tracing and sets
-/// the export path. Idempotent.
+/// Reads `TIPTOE_TRACE` (a non-empty value enables tracing and sets
+/// the export path) and `TIPTOE_TRACE_SAMPLE` (a positive integer
+/// sets the 1-in-N span-sampling rate). Idempotent.
 pub fn init_from_env() {
     if let Ok(p) = std::env::var("TIPTOE_TRACE") {
         if !p.is_empty() {
             enable_with_path(p);
+        }
+    }
+    if let Ok(s) = std::env::var("TIPTOE_TRACE_SAMPLE") {
+        if let Ok(every) = s.trim().parse::<u64>() {
+            if every >= 1 {
+                set_span_sample(every);
+            }
         }
     }
 }
@@ -160,10 +196,20 @@ pub fn clear_spans() {
     state().spans.lock().expect("span lock").clear();
 }
 
-/// Marks the start of a query: when tracing is enabled, the span
-/// buffer is cleared so the exported trace holds exactly one query.
+/// Marks the start of a query: rolls the 1-in-N sampling decision for
+/// this query and, when it is sampled (and tracing is enabled), clears
+/// the span buffer so the exported trace holds exactly one query.
+/// Unsampled queries record no spans at all — [`enabled`] reports
+/// false until the next sampled query begins.
 pub fn begin_query() {
-    if enabled() {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed).max(1);
+    let i = QUERY_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let sampled = i % every == 0;
+    SAMPLED.store(sampled, Ordering::Relaxed);
+    if sampled {
         clear_spans();
     }
 }
@@ -404,6 +450,30 @@ mod tests {
         for w in workers {
             assert_eq!(w.parent, Some(root_id));
         }
+    }
+
+    #[test]
+    fn span_sampling_traces_one_in_n_queries() {
+        let _g = guard();
+        enable();
+        set_span_sample(3);
+        let mut recorded = Vec::new();
+        for _ in 0..6 {
+            begin_query();
+            let sampled = enabled();
+            {
+                let _s = span("q");
+            }
+            recorded.push(sampled);
+        }
+        // 1-in-3, starting sampled: queries 0 and 3.
+        assert_eq!(recorded, vec![true, false, false, true, false, false]);
+        // The last sampled query's spans are in the buffer (unsampled
+        // queries recorded nothing on top).
+        assert_eq!(spans_snapshot().len(), 1);
+        set_span_sample(1);
+        disable();
+        assert_eq!(span_sample(), 1);
     }
 
     #[test]
