@@ -1,16 +1,39 @@
 //! Machine-readable kernel benchmark for the perf trajectory: times
-//! the scalar / cache-blocked / parallel / batched variants of the LHE
-//! hot-path kernels (`matvec` online, `preproc` offline) at a
-//! paper-scale online shape (ℓ = 2^15 rows) and writes
-//! `BENCH_kernels.json` at the repository root.
+//! the scalar / dispatched-SIMD / parallel / batched variants of the
+//! LHE hot-path kernels (`matvec` online, `preproc` offline) and
+//! writes `BENCH_kernels.json` at the repository root.
+//!
+//! `matvec` is measured at two shapes because they answer different
+//! questions: the cache-resident **hot** shape (256×1024, ~1 MiB)
+//! isolates the kernel itself — this is where SIMD dispatch shows its
+//! real arithmetic speedup — while the paper-scale **streaming**
+//! shape (2^15×1024, 128 MiB) is DRAM-bandwidth-bound on any host
+//! (this VM streams ~5 GB/s single-core, and the scalar loop already
+//! saturates that), so every single-query variant converges on the
+//! memory ceiling there and only the batched variant, which amortizes
+//! the database traffic across queries, escapes it.
 //!
 //! ```text
 //! cargo run --release -p tiptoe-bench --bin bench_kernels
 //! ```
 //!
-//! Knobs: `TIPTOE_THREADS` pins the parallel variants' thread count
+//! Methodology: every variant runs one warmup plus ≥5 measured reps
+//! and reports the **minimum** — on a shared/virtualized host the min
+//! is the only estimator that converges on the true cost of the code
+//! rather than the noise of the neighbourhood. `scalar` is the pinned
+//! portable baseline (`matvec_scalar`/`preproc_scalar`, never
+//! auto-vectorized away by dispatch); `dispatched` is the production
+//! entry point, which routes through the runtime CPU-feature dispatch
+//! (`TIPTOE_FORCE_SCALAR=1` pins it back to the scalar tier). The
+//! parallel variants are swept over thread counts, and `parallel_t1`
+//! is explicitly labeled as the spawn/partition overhead baseline —
+//! it is the dispatched kernel plus threading costs with zero
+//! parallelism, so compare t≥2 against it, not against `scalar`.
+//!
+//! Knobs: `TIPTOE_THREADS` pins the sweep's top thread count
 //! (default: one per core); `TIPTOE_BENCH_KERNEL_REPS` overrides the
-//! per-variant repetition count.
+//! per-variant repetition count (dev smoke runs only — the committed
+//! artifact should use the default).
 
 use std::fmt::Write as _;
 
@@ -22,6 +45,13 @@ use tiptoe_math::rng::seeded_rng;
 
 const MATVEC_ROWS: usize = 1 << 15;
 const MATVEC_COLS: usize = 1 << 10;
+/// Cache-resident kernel-isolation shape: 256×1024 u32 = 1 MiB, which
+/// sits in L2 next to the 8 KiB query vector, so the measurement is
+/// arithmetic, not DRAM.
+const HOT_ROWS: usize = 1 << 8;
+/// Inner repeats for the hot shape so each sample is milliseconds,
+/// not microseconds (reported time is per single call).
+const HOT_INNER: usize = 64;
 const BATCH: usize = 4;
 const PREPROC_ROWS: usize = 1 << 15;
 const PREPROC_COLS: usize = 64;
@@ -35,20 +65,20 @@ fn reps() -> usize {
         .unwrap_or(5)
 }
 
-/// Median-of-`reps` seconds for one run of `f` (after one warmup).
+/// Min-of-`reps` seconds for one run of `f` (after one warmup). The
+/// min, not the median: timing noise on a busy host is strictly
+/// additive, so the smallest sample is the least contaminated one.
 /// Each measured rep is an obs span, so `TIPTOE_TRACE=…` captures the
 /// per-rep timeline (including the kernels' own `lwe.*` child spans).
 fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     std::hint::black_box(f());
-    let mut samples: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let (out, wall) = tiptoe_obs::timed_span("bench.rep", &mut f);
             std::hint::black_box(out);
             wall.as_secs_f64()
         })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 struct Entry {
@@ -58,17 +88,31 @@ struct Entry {
     seconds: f64,
     /// Per-query speedup over the scalar variant of the same kernel.
     speedup: f64,
+    /// Set on entries that are not an apples-to-apples speedup claim
+    /// (e.g. `parallel_t1`, which measures threading overhead).
+    note: Option<&'static str>,
+}
+
+/// Thread counts for the parallel sweep: always 1 (the overhead
+/// baseline) and 2 (the smallest real parallelism), then the detected
+/// core count when it adds a new point.
+fn thread_sweep(top: usize) -> Vec<usize> {
+    let mut ts = vec![1, 2];
+    if top > 2 {
+        ts.push(top);
+    }
+    ts
 }
 
 fn main() {
     tiptoe_obs::init_from_env();
     let reps = reps();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = max_threads();
+    let tier = tiptoe_math::simd::tier_name();
     let mut entries: Vec<Entry> = Vec::new();
 
-    // --- Online kernel: matvec over a 128 MiB database. ---
     let mut rng = seeded_rng(21);
-    let db = Mat::from_fn(MATVEC_ROWS, MATVEC_COLS, |_, _| rng.gen_range(0..16u32));
     let v: Vec<u64> = (0..MATVEC_COLS).map(|_| rng.gen()).collect();
     let vs: Vec<Vec<u64>> = (0..BATCH)
         .map(|s| {
@@ -76,27 +120,55 @@ fn main() {
             (0..MATVEC_COLS).map(|_| r.gen()).collect()
         })
         .collect();
-    let shape = format!("{MATVEC_ROWS}x{MATVEC_COLS}");
-    let scalar = time(reps, || matrix::matvec(&db, &v));
-    let blocked = time(reps, || matrix::matvec_blocked(&db, &v));
-    let parallel = time(reps, || matrix::matvec_par(&db, &v, 0));
-    // Batched answers BATCH queries per pass; report per-query time.
-    let batched = time(reps, || matrix::matvec_batch(&db, &vs, 0)) / BATCH as f64;
-    for (variant, seconds) in [
-        ("scalar", scalar),
-        ("blocked", blocked),
-        (&*format!("parallel_t{threads}"), parallel),
-        (&*format!("batched_b{BATCH}_per_query"), batched),
-    ]
-    .map(|(v, s)| (v.to_string(), s))
-    {
+    let mut push = |kernel, variant: String, shape: &str, seconds, scalar: f64, note| {
         entries.push(Entry {
-            kernel: "matvec",
+            kernel,
             variant,
-            shape: shape.clone(),
+            shape: shape.to_string(),
             seconds,
             speedup: scalar / seconds,
+            note,
         });
+    };
+
+    // --- Online kernel, cache-resident shape: what the SIMD tiers buy
+    // when the measurement is arithmetic rather than DRAM. ---
+    let hot = Mat::from_fn(HOT_ROWS, MATVEC_COLS, |_, _| rng.gen_range(0..16u32));
+    let shape = format!("{HOT_ROWS}x{MATVEC_COLS}");
+    let per_call = |total: f64| total / HOT_INNER as f64;
+    let scalar = per_call(time(reps, || {
+        for _ in 0..HOT_INNER {
+            std::hint::black_box(matrix::matvec_scalar(&hot, &v));
+        }
+    }));
+    let dispatched = per_call(time(reps, || {
+        for _ in 0..HOT_INNER {
+            std::hint::black_box(matrix::matvec(&hot, &v));
+        }
+    }));
+    push("matvec", "scalar".into(), &shape, scalar, scalar, None);
+    push("matvec", format!("dispatched_{tier}"), &shape, dispatched, scalar, None);
+
+    // --- Online kernel, paper-scale streaming shape (128 MiB): every
+    // single-query variant is memory-bound here; batched amortizes the
+    // database stream over BATCH queries. ---
+    let db = Mat::from_fn(MATVEC_ROWS, MATVEC_COLS, |_, _| rng.gen_range(0..16u32));
+    let shape = format!("{MATVEC_ROWS}x{MATVEC_COLS}");
+    const STREAM_NOTE: &str = "DRAM-bandwidth-bound at this shape: the scalar loop already \
+                               saturates the host's single-core stream; see the cache-resident \
+                               matvec entries for the kernel's arithmetic speedup";
+    let scalar = time(reps, || matrix::matvec_scalar(&db, &v));
+    let dispatched = time(reps, || matrix::matvec(&db, &v));
+    // Batched answers BATCH queries per pass; report per-query time.
+    let batched = time(reps, || matrix::matvec_batch(&db, &vs, 1)) / BATCH as f64;
+    push("matvec_stream", "scalar".into(), &shape, scalar, scalar, None);
+    push("matvec_stream", format!("dispatched_{tier}"), &shape, dispatched, scalar, Some(STREAM_NOTE));
+    push("matvec_stream", format!("batched_b{BATCH}_per_query"), &shape, batched, scalar, None);
+    for t in thread_sweep(threads) {
+        let seconds = time(reps, || matrix::matvec_par(&db, &v, t));
+        let note = (t == 1)
+            .then_some("threading overhead baseline: dispatched kernel plus spawn/partition cost at zero parallelism; compare t>=2 against this, not against scalar");
+        push("matvec_stream", format!("parallel_t{t}"), &shape, seconds, scalar, note);
     }
 
     // --- Offline kernel: preproc (hint = M·A with seeded A). ---
@@ -104,38 +176,33 @@ fn main() {
     let a = MatrixA::new(23, PREPROC_COLS, PREPROC_N);
     let range = a.row_range(0, PREPROC_COLS);
     let shape = format!("{PREPROC_ROWS}x{PREPROC_COLS}xn{PREPROC_N}");
-    let p_reps = reps.min(3);
-    let scalar = time(p_reps, || scheme::preproc::<u64>(&db, &range));
-    let parallel = time(p_reps, || scheme::preproc_par::<u64>(&db, &range, 0));
-    for (variant, seconds) in
-        [("scalar".to_string(), scalar), (format!("parallel_t{threads}"), parallel)]
-    {
-        entries.push(Entry {
-            kernel: "preproc",
-            variant,
-            shape: shape.clone(),
-            seconds,
-            speedup: scalar / seconds,
-        });
+    let scalar = time(reps, || scheme::preproc_scalar::<u64>(&db, &range));
+    let dispatched = time(reps, || scheme::preproc::<u64>(&db, &range));
+    push("preproc", "scalar".into(), &shape, scalar, scalar, None);
+    push("preproc", format!("dispatched_{tier}"), &shape, dispatched, scalar, None);
+    for t in thread_sweep(threads) {
+        let seconds = time(reps, || scheme::preproc_par::<u64>(&db, &range, t));
+        let note = (t == 1)
+            .then_some("threading overhead baseline: dispatched kernel plus spawn/partition cost at zero parallelism; compare t>=2 against this, not against scalar");
+        push("preproc", format!("parallel_t{t}"), &shape, seconds, scalar, note);
     }
 
     // --- Emit BENCH_kernels.json at the workspace root. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
-    let _ = writeln!(
-        json,
-        "  \"cores_detected\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
+    let _ = writeln!(json, "  \"cores_detected\": {cores},");
     let _ = writeln!(json, "  \"threads_used\": {threads},");
+    let _ = writeln!(json, "  \"simd_tier\": \"{tier}\",");
     let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"stat\": \"min\",");
     let _ = writeln!(json, "  \"results\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let note = e.note.map_or(String::new(), |n| format!(", \"note\": \"{n}\""));
         let _ = writeln!(
             json,
             "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"shape\": \"{}\", \
-             \"seconds\": {:.6}, \"speedup_vs_scalar\": {:.3}}}{comma}",
+             \"seconds\": {:.6}, \"speedup_vs_scalar\": {:.3}{note}}}{comma}",
             e.kernel, e.variant, e.shape, e.seconds, e.speedup
         );
     }
@@ -150,12 +217,19 @@ fn main() {
     println!("wrote {root}");
     for e in &entries {
         println!(
-            "{:<8} {:<24} {:<20} {:>10.3} ms   {:>6.2}x",
+            "{:<8} {:<24} {:<20} {:>10.3} ms   {:>6.2}x{}",
             e.kernel,
             e.variant,
             e.shape,
             e.seconds * 1e3,
-            e.speedup
+            e.speedup,
+            e.note.map_or("", |n| {
+                if n.starts_with("threading overhead") {
+                    "   (overhead baseline)"
+                } else {
+                    "   (memory-bound; see JSON note)"
+                }
+            })
         );
     }
 }

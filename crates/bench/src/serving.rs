@@ -199,12 +199,14 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchOutcome {
     let corpus = generate(&CorpusConfig::small(cfg.docs, cfg.seed), 32);
     let mut config = TiptoeConfig::test_small(cfg.docs, cfg.seed);
     config.num_shards = cfg.shards;
-    // The default 2ms flush deadline is sized for deployment-scale
-    // shards (scans of tens of ms). This bench's synthetic shards scan
-    // in microseconds, so a deployment-scale deadline would dominate
-    // every coalesced query with idle waiting; scale it to the
-    // workload.
-    config.coalesce.max_wait = std::time::Duration::from_micros(200);
+    // The coalescer runs at its *default* policy — benchmarking the
+    // default is the point; a hand-tuned per-bench deadline would hide
+    // a bad one. The default holds up across scan scales because the
+    // deadline adapts: a lone client flushes solo with no wait at all,
+    // and under load the effective wait derives from the measured
+    // arrival rate and flush latency (the 1 ms `max_wait` is only the
+    // cold-start ceiling), so microsecond-scale synthetic shards and
+    // deployment-scale ones both self-tune.
     // Pin kernels to one thread in both modes: per-query compute is
     // then identical everywhere and the sweep isolates the serving
     // architecture (client concurrency + cross-client batching) from

@@ -32,7 +32,9 @@ use tiptoe_net::{
     ServeError,
 };
 use tiptoe_pir::PirClient;
-use tiptoe_underhood::{combine_decoded_subset, ClientKey, DecodedToken, EncryptedSecret};
+use tiptoe_underhood::{
+    combine_decoded_subset, combine_partial_tokens, ClientKey, DecodedToken, EncryptedSecret,
+};
 
 use crate::batch::ClientMetadata;
 use crate::instance::TiptoeInstance;
@@ -215,6 +217,19 @@ impl TiptoeClient {
     /// uploads the encrypted secret once and downloads the ranking and
     /// URL tokens. Returns the cost of the fetch.
     pub fn fetch_token<E: Embedder>(&mut self, instance: &TiptoeInstance<E>) -> QueryCost {
+        self.fetch_token_via(instance, None)
+    }
+
+    /// [`TiptoeClient::fetch_token`] through a serving plane: the
+    /// server-side hint evaluation goes through the plane's coalescing
+    /// token lane, so token fetches issued by concurrent clients share
+    /// one pass over each service's hint polynomials. Tokens are
+    /// bit-identical to the direct fetch.
+    pub fn fetch_token_via<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        serving: Option<&ServingPlane<'_>>,
+    ) -> QueryCost {
         // A *standalone* prefetch (one happening outside a query
         // round, e.g. in the background between queries) is its own
         // tracing boundary: without this, its spans — notably the
@@ -224,7 +239,7 @@ impl TiptoeClient {
         if standalone {
             tiptoe_obs::begin_query();
         }
-        let cost = self.fetch_token_inner(instance);
+        let cost = self.fetch_token_inner(instance, serving);
         if standalone {
             tiptoe_obs::export::export_query_artifacts();
         }
@@ -232,7 +247,11 @@ impl TiptoeClient {
     }
 
     /// The token fetch proper (see [`Self::fetch_token`]).
-    fn fetch_token_inner<E: Embedder>(&mut self, instance: &TiptoeInstance<E>) -> QueryCost {
+    fn fetch_token_inner<E: Embedder>(
+        &mut self,
+        instance: &TiptoeInstance<E>,
+        serving: Option<&ServingPlane<'_>>,
+    ) -> QueryCost {
         let _span = tiptoe_obs::span("client.token_fetch");
         let mut cost = QueryCost::default();
         let uh_rank = instance.ranking.underhood();
@@ -257,17 +276,33 @@ impl TiptoeClient {
         // download) so it can later decrypt over any surviving subset.
         let (expanded, t_expand) = timed(|| es.expand(uh_rank));
         let fault_tolerant = instance.config.fault_policy.enabled;
-        let (rank_tokens, t_rank) = if fault_tolerant {
-            let (parts, t) = instance.ranking.generate_token_parts_expanded(&expanded);
-            (parts, t)
+        let (rank_tokens, url_token, t_tokens) = if let Some(plane) = serving {
+            // Coalesced fetch: this client's expanded secret is
+            // batched with concurrently arriving clients' and both
+            // services' hint evaluations are flushed through the
+            // batched kernels. The coordinator-side part sum of the
+            // combined path applies to the returned per-shard parts.
+            let (bundle, wall) = timed(|| plane.generate_tokens(std::sync::Arc::new(expanded)));
+            let rank_tokens = if fault_tolerant {
+                bundle.rank_parts
+            } else {
+                vec![combine_partial_tokens(uh_rank, &bundle.rank_parts)]
+            };
+            (rank_tokens, bundle.url, ParallelTiming { wall, cpu: wall })
         } else {
-            let (combined, t) = instance.ranking.generate_token_expanded(&expanded);
-            (vec![combined], t)
+            let (rank_tokens, t_rank) = if fault_tolerant {
+                instance.ranking.generate_token_parts_expanded(&expanded)
+            } else {
+                let (combined, t) = instance.ranking.generate_token_expanded(&expanded);
+                (vec![combined], t)
+            };
+            let (url_token, t_url) = instance.url.generate_token_expanded(&expanded);
+            (rank_tokens, url_token, t_rank.then(t_url))
         };
-        let (url_token, mut t_url) = instance.url.generate_token_expanded(&expanded);
-        t_url.cpu += t_expand;
-        t_url.wall += t_expand;
-        cost.token_server = t_rank.then(t_url);
+        let mut t_tokens = t_tokens;
+        t_tokens.cpu += t_expand;
+        t_tokens.wall += t_expand;
+        cost.token_server = t_tokens;
         cost.token_down =
             rank_tokens.iter().map(|t| t.byte_len()).sum::<u64>() + url_token.byte_len();
         instance.transcript.record_down(Phase::Token, cost.token_down);
@@ -553,7 +588,9 @@ impl TiptoeClient {
     ) -> Result<SearchResults, ServeError> {
         assert!(k > 0, "k must be positive");
         if self.tokens.is_empty() {
-            self.fetch_token(instance);
+            // A served query fetches its token through the plane's
+            // coalescing token lane; direct queries fetch directly.
+            self.fetch_token_via(instance, serving);
         }
         let mut prepared = self.tokens.pop_front().expect("token fetched above");
         let mut cost = prepared.cost.clone();

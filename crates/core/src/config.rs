@@ -238,6 +238,23 @@ impl TiptoeConfig {
         self.coalesce.validate()?;
         self.admission.validate()?;
         self.breaker.validate()?;
+        if self.admission.enabled {
+            // An admitted query crosses several coalescer lanes (token
+            // fetch, ranking shards, URL retrieval), and each lane may
+            // wait up to `coalesce.max_wait` before flushing — more
+            // under crash retries. A wait ceiling above 1/8 of the
+            // per-query deadline budget could exhaust the budget on
+            // queued waits alone, deadlining queries the plane had
+            // capacity to serve.
+            let floor = self.admission.deadline / 8;
+            if self.coalesce.max_wait > floor {
+                return Err(ConfigError {
+                    field: "coalesce.max_wait",
+                    reason: "wait ceiling exceeds the admission deadline budget floor \
+                             (deadline/8); lane waits alone could deadline admitted queries",
+                });
+            }
+        }
         if self.trace_sample == 0 {
             return Err(ConfigError {
                 field: "trace_sample",
@@ -295,6 +312,21 @@ mod tests {
         c.admission.deadline = std::time::Duration::ZERO;
         let err = c.try_validate().expect_err("zero deadline");
         assert_eq!(err.field, "admission.deadline");
+
+        // A coalescer wait ceiling that could eat the whole deadline
+        // budget on queued waits is rejected when admission is on —
+        // and only then (unbudgeted queries tolerate any ceiling).
+        let mut c = TiptoeConfig::test_small(500, 1);
+        c.admission.enabled = true;
+        c.admission.deadline = std::time::Duration::from_millis(4);
+        c.coalesce.max_wait = std::time::Duration::from_millis(1);
+        let err = c.try_validate().expect_err("wait ceiling above deadline/8");
+        assert_eq!(err.field, "coalesce.max_wait");
+        c.coalesce.max_wait = std::time::Duration::from_micros(500);
+        c.try_validate().expect("wait ceiling at deadline/8 is fine");
+        c.admission.enabled = false;
+        c.coalesce.max_wait = std::time::Duration::from_millis(1);
+        c.try_validate().expect("no admission, no deadline floor");
 
         let mut c = TiptoeConfig::test_small(500, 1);
         c.breaker.failure_threshold = 0;

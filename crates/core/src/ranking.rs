@@ -408,6 +408,38 @@ impl RankingService {
         (d.response, d.timing)
     }
 
+    /// Batched per-shard token generation for `B` clients: every
+    /// shard's hint polynomials are read from DRAM once for the whole
+    /// batch (the token-path counterpart of
+    /// [`RankingService::shard_answer_many`]). Returns one `Vec` of
+    /// per-shard tokens (in shard order) per client, each
+    /// bit-identical to that client's
+    /// [`RankingService::generate_token_parts_expanded`] result; the
+    /// serving plane's token lane flushes through this kernel.
+    pub fn generate_token_parts_expanded_many(
+        &self,
+        secrets: &[&ExpandedSecret],
+    ) -> Vec<Vec<QueryToken>> {
+        let mut span = tiptoe_obs::span("rank.token");
+        span.attr_u64("batch", secrets.len() as u64);
+        let threads = self.parallelism.num_threads;
+        // [shard][client] — each shard evaluated once over the batch.
+        let per_shard: Vec<Vec<QueryToken>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut s = tiptoe_obs::span("rank.token_shard");
+                s.attr_u64("batch", secrets.len() as u64);
+                self.uh.generate_token_expanded_many(&shard.server_hint, secrets, threads)
+            })
+            .collect();
+        // Transpose to [client][shard] for the per-client bundles.
+        let mut iters: Vec<_> = per_shard.into_iter().map(|v| v.into_iter()).collect();
+        (0..secrets.len())
+            .map(|_| iters.iter_mut().map(|it| it.next().expect("client count")).collect())
+            .collect()
+    }
+
     /// The column range `[start, end)` served by shard `idx`.
     ///
     /// # Panics

@@ -23,6 +23,7 @@
 //! ([`crate::instance::TiptoeInstance::serving_plane`]) and dropped
 //! before any mutable corpus update.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use tiptoe_lwe::LweCiphertext;
@@ -30,9 +31,20 @@ use tiptoe_net::{
     AdmissionController, AdmissionPermit, AdmissionPolicy, BreakerBank, BreakerPolicy,
     CoalescePolicy, Coalescer, DeadlineBudget, ServeError,
 };
+use tiptoe_underhood::{ExpandedSecret, QueryToken};
 
 use crate::ranking::RankingService;
 use crate::url::UrlService;
+
+/// One client's coalesced token-fetch result: its per-shard ranking
+/// tokens (in shard order, uncombined so both the combined and the
+/// fault-tolerant client paths can be served) plus its URL token.
+pub struct TokenBundle {
+    /// Per-ranking-shard tokens, in shard order.
+    pub rank_parts: Vec<QueryToken>,
+    /// The URL service's token.
+    pub url: QueryToken,
+}
 
 /// Batch coalescers over both services' shards, plus the plane's
 /// overload-safety layers: an admission controller (bounded inflight
@@ -41,6 +53,7 @@ use crate::url::UrlService;
 pub struct ServingPlane<'a> {
     rank_lanes: Vec<Coalescer<'a, Vec<u64>, Vec<u64>>>,
     url_lane: Coalescer<'a, LweCiphertext<u32>, Vec<u32>>,
+    token_lane: Coalescer<'a, Arc<ExpandedSecret>, TokenBundle>,
     admission: Option<AdmissionController>,
     breakers: Option<BreakerBank>,
 }
@@ -93,24 +106,47 @@ impl<'a> ServingPlane<'a> {
         policy.validate().expect("invalid coalescer policy");
         admission.validate().expect("invalid admission policy");
         breaker.validate().expect("invalid breaker policy");
+        // One in-flight gauge across every lane in the plane: a query
+        // crosses the lanes one at a time, so "am I alone?" (the solo
+        // fast path) must be answered plane-wide — a momentarily empty
+        // lane under concurrent load still has batch companions parked
+        // in sibling lanes.
+        let cohort = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let rank_lanes = (0..ranking.num_shards())
             .map(|idx| {
                 Coalescer::new(policy, move |chunks: Vec<Vec<u64>>| {
                     ranking.shard_answer_many(idx, &chunks)
                 })
+                .with_cohort(cohort.clone())
             })
             .collect();
         let threads = ranking.parallelism().num_threads;
         let url_lane = Coalescer::new(policy, move |cts: Vec<LweCiphertext<u32>>| {
             url.answer_many(&cts, threads)
-        });
+        })
+        .with_cohort(cohort.clone());
+        // Token generation coalesces too: it is the same
+        // memory-bound shape as the scans (a pass over the hint
+        // polynomials instead of the matrix), so `B` concurrent token
+        // fetches share one pass per service through the batched
+        // hint-evaluation kernels.
+        let token_lane = Coalescer::new(policy, move |secrets: Vec<Arc<ExpandedSecret>>| {
+            let refs: Vec<&ExpandedSecret> = secrets.iter().map(|a| a.as_ref()).collect();
+            let rank = ranking.generate_token_parts_expanded_many(&refs);
+            let url_tokens = url.generate_token_expanded_many(&refs, threads);
+            rank.into_iter()
+                .zip(url_tokens)
+                .map(|(rank_parts, url)| TokenBundle { rank_parts, url })
+                .collect()
+        })
+        .with_cohort(cohort);
         let admission = admission.enabled.then(|| {
             let flush = tiptoe_obs::metrics().histogram("net.coalesce.flush_us");
             let capacity = admission.capacity_from_flush_histogram(&flush, policy.max_batch);
             AdmissionController::new(admission, capacity)
         });
         let breakers = breaker.enabled.then(|| BreakerBank::new(breaker, ranking.num_shards() + 1));
-        Self { rank_lanes, url_lane, admission, breakers }
+        Self { rank_lanes, url_lane, token_lane, admission, breakers }
     }
 
     /// Number of ranking lanes (one per shard).
@@ -187,6 +223,29 @@ impl<'a> ServingPlane<'a> {
         self.rank_lanes[idx].submit_within(chunk, deadline)
     }
 
+    /// Generates one client's token bundle through the coalescing
+    /// token lane: the expanded secret is batched with concurrently
+    /// arriving clients' and every service's hint polynomials are read
+    /// once for the whole batch. Each bundle is bit-identical to the
+    /// direct per-client token generation.
+    pub fn generate_tokens(&self, es: Arc<ExpandedSecret>) -> TokenBundle {
+        self.token_lane.submit(es)
+    }
+
+    /// [`ServingPlane::generate_tokens`] under a deadline (see
+    /// [`ServingPlane::rank_chunk_within`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] or [`ServeError::LaneFailed`].
+    pub fn generate_tokens_within(
+        &self,
+        es: Arc<ExpandedSecret>,
+        deadline: Duration,
+    ) -> Result<TokenBundle, ServeError> {
+        self.token_lane.submit_within(es, deadline)
+    }
+
     /// Answers one URL PIR query through the coalescing lane.
     pub fn url_answer(&self, ct: LweCiphertext<u32>) -> Vec<u32> {
         self.url_lane.submit(ct)
@@ -213,10 +272,35 @@ mod tests {
     use tiptoe_corpus::synth::{generate, CorpusConfig};
     use tiptoe_embed::text::TextEmbedder;
     use tiptoe_math::rng::seeded_rng;
-    use tiptoe_underhood::ClientKey;
+    use tiptoe_underhood::{ClientKey, EncryptedSecret};
 
     use crate::config::TiptoeConfig;
     use crate::instance::TiptoeInstance;
+
+    #[test]
+    fn coalesced_token_fetches_are_bit_identical() {
+        let corpus = generate(&CorpusConfig::small(150, 74), 0);
+        let config = TiptoeConfig::test_small(150, 74);
+        let embedder = TextEmbedder::new(config.d_embed, 74, 0);
+        let instance = TiptoeInstance::build(&config, embedder, &corpus);
+        let plane = instance.serving_plane();
+
+        let mut rng = seeded_rng(29);
+        let uh = instance.ranking.underhood();
+        let key = ClientKey::generate(uh, config.rank_lwe.n, &mut rng);
+        let es = EncryptedSecret::encrypt(uh, &key, &mut rng);
+
+        // Direct per-client generation vs the plane's token lane, from
+        // the same upload (expansion is deterministic).
+        let (direct_parts, _) = instance.ranking.generate_token_parts_expanded(&es.expand(uh));
+        let (direct_url, _) = instance.url.generate_token_expanded(&es.expand(uh));
+        let bundle = plane.generate_tokens(std::sync::Arc::new(es.expand(uh)));
+        assert_eq!(bundle.rank_parts.len(), direct_parts.len());
+        for (got, want) in bundle.rank_parts.iter().zip(direct_parts.iter()) {
+            assert_eq!(got.encode(), want.encode(), "coalesced rank token differs");
+        }
+        assert_eq!(bundle.url.encode(), direct_url.encode(), "coalesced URL token differs");
+    }
 
     #[test]
     fn coalesced_shard_answers_are_bit_identical() {

@@ -110,7 +110,7 @@ impl<E: Embedder> TiptoeInstance<E> {
             return Err(UpdateError::ClusterFull);
         }
         let upb = self.artifacts.meta.urls_per_batch as usize;
-        if row % upb == 0 {
+        if row.is_multiple_of(upb) {
             // The slot would start a new batch; batch numbering is
             // arithmetic per cluster, so this needs a re-shard.
             return Err(UpdateError::BatchFull);
@@ -213,7 +213,7 @@ mod tests {
         let cluster = (0..meta.c)
             .find(|&c| {
                 let len = instance.artifacts.clustering.members[c].len();
-                len < meta.rows && len % upb != 0
+                len < meta.rows && !len.is_multiple_of(upb)
             })
             .expect("some cluster has room");
         // Lift the *client-visible* centroid so the assignment rule

@@ -121,6 +121,18 @@ impl UrlService {
         (token, ParallelTiming { wall, cpu: wall })
     }
 
+    /// Batched token generation for `B` clients in one pass over the
+    /// hint polynomials (each bit-identical to
+    /// [`UrlService::generate_token_expanded`] for that client); the
+    /// serving plane's token lane flushes through this kernel.
+    pub fn generate_token_expanded_many(
+        &self,
+        secrets: &[&ExpandedSecret],
+        num_threads: usize,
+    ) -> Vec<QueryToken> {
+        self.server.generate_token_expanded_many(secrets, num_threads)
+    }
+
     /// Answers an online PIR query.
     ///
     /// # Panics

@@ -408,7 +408,7 @@ fn read_lengths(data: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u8>, TzipE
             if lengths.len() + run > n {
                 return Err(TzipError::Corrupt("zero run overflows alphabet"));
             }
-            lengths.extend(std::iter::repeat(0).take(run));
+            lengths.extend(std::iter::repeat_n(0, run));
         } else {
             lengths.push(b);
         }

@@ -32,6 +32,10 @@ fn kernel_span(name: &'static str, rows: usize, cols: usize) -> tiptoe_obs::Span
     let mut s = tiptoe_obs::span(name);
     s.attr_u64("rows", rows as u64);
     s.attr_u64("cols", cols as u64);
+    // Which SIMD tier served this kernel (0 = scalar, 1 = avx2,
+    // 2 = avx512); constant per process but recorded per span so
+    // traces from mixed fleets stay attributable.
+    s.attr_u64("simd_tier", tiptoe_math::simd::tier().code());
     s
 }
 
@@ -179,10 +183,30 @@ pub fn preproc<W: Word>(db: &Mat<u32>, a: &MatrixARange) -> Mat<W> {
             if m_ik == 0 {
                 continue;
             }
-            let w_ik = W::from_u64(m_ik as u64);
-            for (h, &a_kj) in hint.row_mut(i).iter_mut().zip(a_row.iter()) {
-                *h = h.wadd(w_ik.wmul(a_kj));
+            W::axpy(hint.row_mut(i), W::from_u64(m_ik as u64), &a_row);
+        }
+    }
+    hint
+}
+
+/// Pinned-scalar [`preproc`]: identical math always on the portable
+/// kernel, never the SIMD tiers. This is the benchmark baseline and
+/// the oracle the dispatch property tests compare against; serving
+/// and build paths use [`preproc`]/[`preproc_par`].
+pub fn preproc_scalar<W: Word>(db: &Mat<u32>, a: &MatrixARange) -> Mat<W> {
+    assert_eq!(db.cols(), a.rows(), "matrix shapes incompatible");
+    let ell = db.rows();
+    let n = a.cols();
+    let mut hint: Mat<W> = Mat::zeros(ell, n);
+    let mut a_row = vec![W::ZERO; n];
+    for k in 0..db.cols() {
+        a.expand_row(k, &mut a_row);
+        for i in 0..ell {
+            let m_ik = db.get(i, k);
+            if m_ik == 0 {
+                continue;
             }
+            tiptoe_math::simd::axpy_scalar(hint.row_mut(i), W::from_u64(m_ik as u64), &a_row);
         }
     }
     hint
@@ -262,11 +286,8 @@ pub fn preproc_par<W: Word>(db: &Mat<u32>, a: &MatrixARange, num_threads: usize)
                 if m_ik == 0 {
                     continue;
                 }
-                let w_ik = W::from_u64(m_ik as u64);
                 let h_row = &mut span[local * n..(local + 1) * n];
-                for (h, &a_kj) in h_row.iter_mut().zip(a_row.iter()) {
-                    *h = h.wadd(w_ik.wmul(a_kj));
-                }
+                W::axpy(h_row, W::from_u64(m_ik as u64), &a_row);
             }
         }
     });
@@ -295,10 +316,10 @@ pub fn preproc_packed<W: Word>(db: &NibbleMat, a: &MatrixARange) -> Mat<W> {
             if m_ik == 0 {
                 continue;
             }
-            let w_ik = W::from_i64(m_ik as i64);
-            for (h, &a_kj) in hint.row_mut(i).iter_mut().zip(a_row.iter()) {
-                *h = h.wadd(w_ik.wmul(a_kj));
-            }
+            // Sign-extended full-width multiplier: the axpy kernels
+            // handle arbitrary 64-bit `w` (3-multiply decomposition on
+            // AVX2, native mullo on AVX-512DQ).
+            W::axpy(hint.row_mut(i), W::from_i64(m_ik as i64), &a_row);
         }
     }
     hint
@@ -335,11 +356,8 @@ pub fn preproc_packed_par<W: Word>(
                 if m_ik == 0 {
                     continue;
                 }
-                let w_ik = W::from_i64(m_ik as i64);
                 let h_row = &mut span[local * n..(local + 1) * n];
-                for (h, &a_kj) in h_row.iter_mut().zip(a_row.iter()) {
-                    *h = h.wadd(w_ik.wmul(a_kj));
-                }
+                W::axpy(h_row, W::from_i64(m_ik as i64), &a_row);
             }
         }
     });
@@ -638,11 +656,13 @@ mod tests {
         let a = MatrixA::new(77, cols, params.n);
         let range = a.row_range(0, cols);
         let want = preproc::<u64>(&db, &range);
+        assert_eq!(preproc_scalar::<u64>(&db, &range), want, "dispatched == pinned scalar");
         for threads in [0usize, 1, 2, 3, 8] {
             assert_eq!(preproc_par::<u64>(&db, &range, threads), want, "threads={threads}");
         }
         // u32 width too.
         let want32 = preproc::<u32>(&db, &range);
+        assert_eq!(preproc_scalar::<u32>(&db, &range), want32);
         assert_eq!(preproc_par::<u32>(&db, &range, 3), want32);
     }
 

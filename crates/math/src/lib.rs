@@ -15,6 +15,9 @@
 //!   scalar, cache-blocked, row-parallel, and batched forms.
 //! - [`par`]: the scoped-thread span helpers behind the parallel
 //!   kernels (`0 = one thread per core`, `TIPTOE_THREADS` override).
+//! - [`simd`]: runtime-dispatched AVX2/AVX-512 vector kernels behind
+//!   the matvec/preproc hot loops, with a portable scalar fallback
+//!   and a `TIPTOE_FORCE_SCALAR` pin for testing both dispatch paths.
 //! - [`nibble`]: packed signed-4-bit matrix storage (the paper stores
 //!   embeddings as 4-bit integers), 8× smaller than `u32` residues.
 //! - [`sample`]: lattice noise distributions (rounded discrete
@@ -31,7 +34,11 @@
 //! "Private Web Search with Tiptoe" (SOSP 2023); see the workspace
 //! `DESIGN.md` for the full inventory.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only for the [`simd`]
+// module, which holds every `unsafe` block in the workspace behind
+// documented safety contracts (see `DESIGN.md` §15).
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod fixed;
@@ -43,6 +50,8 @@ pub mod par;
 pub mod poly;
 pub mod rng;
 pub mod sample;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod stats;
 pub mod wire;
 pub mod zq;

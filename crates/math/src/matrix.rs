@@ -153,10 +153,25 @@ impl<T: Copy + Default> Mat<T> {
 /// `Z_{2^k}`; the wrap-around of [`Word`] arithmetic performs the
 /// modular reduction.
 ///
+/// Runs on the best kernel available: the L1-tiled loop over the
+/// runtime-dispatched [`Word::dot_narrow`] (the widest SIMD tier the
+/// CPU supports, see [`crate::simd`]). Bit-identical to the
+/// pinned-scalar [`matvec_scalar`] at every tier — wrapping mod-`2^k`
+/// sums are associative and commutative, so neither the tiling nor
+/// the lane grouping can change any output word.
+///
 /// # Panics
 ///
 /// Panics if `v.len() != db.cols()`.
 pub fn matvec<W: Word>(db: &Mat<u32>, v: &[W]) -> Vec<W> {
+    matvec_blocked(db, v)
+}
+
+/// Pinned-scalar `out = M · v`: identical math to [`matvec`] but
+/// always on the portable four-way-unrolled kernel, never the SIMD
+/// tiers. This is the benchmark baseline and the oracle the dispatch
+/// property tests compare against; serving paths use [`matvec`].
+pub fn matvec_scalar<W: Word>(db: &Mat<u32>, v: &[W]) -> Vec<W> {
     assert_eq!(v.len(), db.cols(), "dimension mismatch");
     let mut out = Vec::with_capacity(db.rows());
     for i in 0..db.rows() {
@@ -165,31 +180,15 @@ pub fn matvec<W: Word>(db: &Mat<u32>, v: &[W]) -> Vec<W> {
     out
 }
 
-/// Inner product of one narrow row with a wide vector, four-way
-/// unrolled to keep the MAC pipeline busy.
+/// Inner product of one narrow row with a wide vector on the portable
+/// scalar kernel (four-way unrolled to keep the MAC pipeline busy).
 ///
-/// Iterates both operands as `chunks_exact` slices so the compiler
-/// hoists every bounds check out of the loop (indexing `v[b]` against
-/// a separately-computed bound defeats that).
+/// This is the scalar *reference*: the runtime-dispatched
+/// [`Word::dot_narrow`] is property-tested bit-identical to it at
+/// every [`crate::simd::KernelTier`].
 #[inline]
 pub fn dot_row<W: Word>(row: &[u32], v: &[W]) -> W {
-    debug_assert_eq!(row.len(), v.len());
-    let mut acc0 = W::ZERO;
-    let mut acc1 = W::ZERO;
-    let mut acc2 = W::ZERO;
-    let mut acc3 = W::ZERO;
-    let mut row4 = row.chunks_exact(4);
-    let mut v4 = v.chunks_exact(4);
-    for (r, x) in (&mut row4).zip(&mut v4) {
-        acc0 = acc0.wadd(W::from_u64(r[0] as u64).wmul(x[0]));
-        acc1 = acc1.wadd(W::from_u64(r[1] as u64).wmul(x[1]));
-        acc2 = acc2.wadd(W::from_u64(r[2] as u64).wmul(x[2]));
-        acc3 = acc3.wadd(W::from_u64(r[3] as u64).wmul(x[3]));
-    }
-    for (&r, &x) in row4.remainder().iter().zip(v4.remainder().iter()) {
-        acc0 = acc0.wadd(W::from_u64(r as u64).wmul(x));
-    }
-    acc0.wadd(acc1).wadd(acc2).wadd(acc3)
+    crate::simd::dot_narrow_scalar(row, v)
 }
 
 /// Column-tile width (in elements) of the cache-blocked kernels: 2048
@@ -230,7 +229,7 @@ pub fn matvec_rows_into<W: Word>(db: &Mat<u32>, row_start: usize, v: &[W], out: 
         let vt = &v[tile_start..tile_end];
         for (off, o) in out.iter_mut().enumerate() {
             let seg = &db.row(row_start + off)[tile_start..tile_end];
-            *o = o.wadd(dot_row(seg, vt));
+            *o = o.wadd(W::dot_narrow(seg, vt));
         }
     }
 }
@@ -281,7 +280,7 @@ pub fn matvec_batch<W: Word>(db: &Mat<u32>, vs: &[Vec<W>], num_threads: usize) -
             for (local, row_out) in span.chunks_exact_mut(batch).enumerate() {
                 let seg = &db.row(row0 + local)[tile_start..tile_end];
                 for (o, v) in row_out.iter_mut().zip(vs.iter()) {
-                    *o = o.wadd(dot_row(seg, &v[tile_start..tile_end]));
+                    *o = o.wadd(W::dot_narrow(seg, &v[tile_start..tile_end]));
                 }
             }
         }
@@ -315,11 +314,7 @@ pub fn matmul_hint<W: Word>(db: &Mat<u32>, a: &Mat<W>) -> Mat<W> {
             if m_ik == 0 {
                 continue;
             }
-            let w_ik = W::from_u64(m_ik as u64);
-            let a_row = a.row(k);
-            for (o, &a_kj) in out_row.iter_mut().zip(a_row.iter()) {
-                *o = o.wadd(w_ik.wmul(a_kj));
-            }
+            W::axpy(out_row, W::from_u64(m_ik as u64), a.row(k));
         }
     }
     out
@@ -335,17 +330,14 @@ pub fn matvec_wide<W: Word>(h: &Mat<W>, s: &[W]) -> Vec<W> {
     assert_eq!(s.len(), h.cols(), "dimension mismatch");
     let mut out = Vec::with_capacity(h.rows());
     for i in 0..h.rows() {
-        let mut acc = W::ZERO;
-        for (&a, &b) in h.row(i).iter().zip(s.iter()) {
-            acc = acc.wadd(a.wmul(b));
-        }
-        out.push(acc);
+        out.push(W::dot_wide(h.row(i), s));
     }
     out
 }
 
-/// Row-parallel [`matvec_wide`]; bit-identical (each output row's
-/// accumulation order is unchanged).
+/// Row-parallel [`matvec_wide`]; bit-identical (wrapping sums are
+/// associative and commutative, so neither the row split nor the
+/// dispatched kernel's lane grouping changes any output word).
 ///
 /// # Panics
 ///
@@ -355,11 +347,7 @@ pub fn matvec_wide_par<W: Word>(h: &Mat<W>, s: &[W], num_threads: usize) -> Vec<
     let mut out = vec![W::ZERO; h.rows()];
     crate::par::par_spans_mut(&mut out, 1, num_threads, |start, span| {
         for (off, o) in span.iter_mut().enumerate() {
-            let mut acc = W::ZERO;
-            for (&a, &b) in h.row(start + off).iter().zip(s.iter()) {
-                acc = acc.wadd(a.wmul(b));
-            }
-            *o = acc;
+            *o = W::dot_wide(h.row(start + off), s);
         }
     });
     out
@@ -385,11 +373,7 @@ pub fn matmul_hint_par<W: Word>(db: &Mat<u32>, a: &Mat<W>, num_threads: usize) -
                 if m_ik == 0 {
                     continue;
                 }
-                let w_ik = W::from_u64(m_ik as u64);
-                let a_row = a.row(k);
-                for (o, &a_kj) in out_row.iter_mut().zip(a_row.iter()) {
-                    *o = o.wadd(w_ik.wmul(a_kj));
-                }
+                W::axpy(out_row, W::from_u64(m_ik as u64), a.row(k));
             }
         }
     });
@@ -497,6 +481,14 @@ mod tests {
     fn blocked_matvec_is_bit_identical() {
         let (db, v) = wide_case();
         assert_eq!(matvec_blocked(&db, &v), matvec(&db, &v));
+    }
+
+    #[test]
+    fn dispatched_matvec_matches_pinned_scalar() {
+        let (db, v) = wide_case();
+        assert_eq!(matvec(&db, &v), matvec_scalar(&db, &v));
+        let v32: Vec<u32> = v.iter().map(|&x| x as u32).collect();
+        assert_eq!(matvec(&db, &v32), matvec_scalar(&db, &v32));
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl PrimeModulus {
     ///
     /// Panics if `a == 0` (zero has no inverse).
     pub fn inv(&self, a: u64) -> u64 {
-        assert!(a % self.q != 0, "zero has no inverse");
+        assert!(!a.is_multiple_of(self.q), "zero has no inverse");
         self.pow(a, self.q - 2)
     }
 }
@@ -137,13 +137,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }

@@ -108,7 +108,7 @@ impl NibbleMat {
         assert!(row < self.rows && col < self.cols, "index out of bounds");
         let stride = self.cols.div_ceil(2);
         let byte = self.data[row * stride + col / 2];
-        decode_nibble(if col % 2 == 0 { byte & 0x0f } else { byte >> 4 })
+        decode_nibble(if col.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 })
     }
 
     /// `out = M · v` over `Z_{2^k}` with signed entries embedded via

@@ -1,0 +1,760 @@
+//! Runtime-dispatched SIMD kernels behind the matrix-vector hot loops.
+//!
+//! The server-side scan multiplies a narrow (`u32` or sign-extended
+//! nibble) matrix against wide [`Word`] vectors with wrapping
+//! arithmetic. Because wrapping addition modulo `2^k` is associative
+//! and commutative, *any* regrouping of the multiply-accumulate chain
+//! — four-way scalar unrolls, 256-bit lanes, 512-bit lanes — produces
+//! bit-identical results, so vectorization is purely a scheduling
+//! decision. This module picks the widest instruction set the CPU
+//! offers at runtime and falls back to the portable scalar unroll
+//! everywhere else.
+//!
+//! # Dispatch tiers
+//!
+//! | Tier                     | dot (u32·u64) | dot (u32·u32) | axpy |
+//! |--------------------------|---------------|---------------|------|
+//! | [`KernelTier::Avx512`]   | 8 lanes       | 16 lanes      | 8/16 |
+//! | [`KernelTier::Avx2`]     | 4 lanes       | 8 lanes       | 4/8  |
+//! | [`KernelTier::Scalar`]   | 4-way unroll  | 4-way unroll  | 1    |
+//!
+//! The tier is detected once (see [`tier`]) with
+//! `is_x86_feature_detected!` and cached for the process lifetime;
+//! setting `TIPTOE_FORCE_SCALAR=1` pins the scalar tier so CI can
+//! exercise both sides of the dispatch boundary on one machine.
+//! Non-x86 targets (e.g. aarch64) currently always take the scalar
+//! tier; the dispatch seam is the place to slot NEON kernels in.
+//!
+//! # Safety model
+//!
+//! All `unsafe` in this crate lives in this module, under
+//! `#![deny(unsafe_op_in_unsafe_fn)]`. Each vector kernel is an
+//! `unsafe fn` whose single contract is "the CPU supports the
+//! annotated target features"; the only call sites are the dispatch
+//! functions below, which establish that contract via the cached
+//! feature probe. Inside the kernels, the remaining unsafe operations
+//! are unaligned vector loads/stores whose bounds are justified
+//! inline at each block.
+
+use std::sync::OnceLock;
+
+use crate::zq::Word;
+
+/// The instruction-set tier the dispatched kernels run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelTier {
+    /// Portable Rust (the four-way-unrolled MAC loop).
+    Scalar,
+    /// 256-bit AVX2 lanes (x86-64).
+    Avx2,
+    /// 512-bit AVX-512F + AVX-512DQ lanes (x86-64; DQ supplies the
+    /// native 64-bit vector multiply).
+    Avx512,
+}
+
+impl KernelTier {
+    /// Stable lowercase name (recorded in bench JSON and metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+        }
+    }
+
+    /// Numeric code for `u64`-valued observability attrs/gauges
+    /// (0 = scalar, 1 = avx2, 2 = avx512).
+    pub fn code(self) -> u64 {
+        match self {
+            KernelTier::Scalar => 0,
+            KernelTier::Avx2 => 1,
+            KernelTier::Avx512 => 2,
+        }
+    }
+}
+
+fn detect() -> KernelTier {
+    let forced = std::env::var("TIPTOE_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if forced {
+        return KernelTier::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq") {
+            return KernelTier::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return KernelTier::Avx2;
+        }
+    }
+    KernelTier::Scalar
+}
+
+/// The process-wide kernel tier: the widest instruction set the CPU
+/// supports, probed once and cached (so `TIPTOE_FORCE_SCALAR` is read
+/// a single time, before the first kernel runs).
+#[inline]
+pub fn tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(detect)
+}
+
+/// [`tier`]'s stable name, for bench reports.
+pub fn tier_name() -> &'static str {
+    tier().name()
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels (generic over `Word`; the fallback tier and
+// the oracle the vector tiers are property-tested against).
+// ---------------------------------------------------------------------
+
+/// Four-way-unrolled scalar inner product of a narrow `u32` row with a
+/// wide vector — the portable tier of [`Word::dot_narrow`], and the
+/// reference all vector kernels must match bit-for-bit.
+#[inline]
+pub fn dot_narrow_scalar<W: Word>(row: &[u32], v: &[W]) -> W {
+    debug_assert_eq!(row.len(), v.len());
+    let mut acc0 = W::ZERO;
+    let mut acc1 = W::ZERO;
+    let mut acc2 = W::ZERO;
+    let mut acc3 = W::ZERO;
+    let mut row4 = row.chunks_exact(4);
+    let mut v4 = v.chunks_exact(4);
+    for (r, x) in (&mut row4).zip(&mut v4) {
+        acc0 = acc0.wadd(W::from_u64(r[0] as u64).wmul(x[0]));
+        acc1 = acc1.wadd(W::from_u64(r[1] as u64).wmul(x[1]));
+        acc2 = acc2.wadd(W::from_u64(r[2] as u64).wmul(x[2]));
+        acc3 = acc3.wadd(W::from_u64(r[3] as u64).wmul(x[3]));
+    }
+    for (&r, &x) in row4.remainder().iter().zip(v4.remainder().iter()) {
+        acc0 = acc0.wadd(W::from_u64(r as u64).wmul(x));
+    }
+    acc0.wadd(acc1).wadd(acc2).wadd(acc3)
+}
+
+/// Scalar tier of [`Word::dot_wide`]: inner product of two wide
+/// vectors (hint-times-secret during decryption).
+#[inline]
+pub fn dot_wide_scalar<W: Word>(a: &[W], b: &[W]) -> W {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = W::ZERO;
+    let mut acc1 = W::ZERO;
+    let mut a2 = a.chunks_exact(2);
+    let mut b2 = b.chunks_exact(2);
+    for (x, y) in (&mut a2).zip(&mut b2) {
+        acc0 = acc0.wadd(x[0].wmul(y[0]));
+        acc1 = acc1.wadd(x[1].wmul(y[1]));
+    }
+    for (&x, &y) in a2.remainder().iter().zip(b2.remainder().iter()) {
+        acc0 = acc0.wadd(x.wmul(y));
+    }
+    acc0.wadd(acc1)
+}
+
+/// Scalar tier of [`Word::axpy`]: `acc[i] += w·x[i]` (the hint
+/// preprocessing inner loop; `w` may be a sign-extended full-width
+/// multiplier from the packed database path).
+#[inline]
+pub fn axpy_scalar<W: Word>(acc: &mut [W], w: W, x: &[W]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (o, &a) in acc.iter_mut().zip(x.iter()) {
+        *o = o.wadd(w.wmul(a));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch functions (one per concrete width; the Word impls in `zq`
+// route here).
+// ---------------------------------------------------------------------
+
+/// Dispatched inner product of a `u32` row with a `u64` vector.
+#[inline]
+pub fn dot_u32_u64(row: &[u32], v: &[u64]) -> u64 {
+    match tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` returned this variant only after
+        // `is_x86_feature_detected!` confirmed the required features.
+        KernelTier::Avx512 => unsafe { x86::dot_u32_u64_avx512(row, v) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2 was detected at runtime.
+        KernelTier::Avx2 => unsafe { x86::dot_u32_u64_avx2(row, v) },
+        _ => dot_narrow_scalar(row, v),
+    }
+}
+
+/// Dispatched inner product of a `u32` row with a `u32` vector.
+#[inline]
+pub fn dot_u32_u32(row: &[u32], v: &[u32]) -> u32 {
+    match tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx512f+avx512dq at runtime.
+        KernelTier::Avx512 => unsafe { x86::dot_u32_u32_avx512(row, v) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx2 at runtime.
+        KernelTier::Avx2 => unsafe { x86::dot_u32_u32_avx2(row, v) },
+        _ => dot_narrow_scalar(row, v),
+    }
+}
+
+/// Dispatched inner product of two `u64` vectors.
+#[inline]
+pub fn dot_wide_u64(a: &[u64], b: &[u64]) -> u64 {
+    match tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx512f+avx512dq at runtime.
+        KernelTier::Avx512 => unsafe { x86::dot_wide_u64_avx512(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx2 at runtime.
+        KernelTier::Avx2 => unsafe { x86::dot_wide_u64_avx2(a, b) },
+        _ => dot_wide_scalar(a, b),
+    }
+}
+
+/// Dispatched `acc[i] += w·x[i]` over `u64` words.
+#[inline]
+pub fn axpy_u64(acc: &mut [u64], w: u64, x: &[u64]) {
+    match tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx512f+avx512dq at runtime.
+        KernelTier::Avx512 => unsafe { x86::axpy_u64_avx512(acc, w, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx2 at runtime.
+        KernelTier::Avx2 => unsafe { x86::axpy_u64_avx2(acc, w, x) },
+        _ => axpy_scalar(acc, w, x),
+    }
+}
+
+/// Dispatched `acc[i] += w·x[i]` over `u32` words.
+#[inline]
+pub fn axpy_u32(acc: &mut [u32], w: u32, x: &[u32]) {
+    match tier() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx512f+avx512dq at runtime.
+        KernelTier::Avx512 => unsafe { x86::axpy_u32_avx512(acc, w, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `tier()` confirmed avx2 at runtime.
+        KernelTier::Avx2 => unsafe { x86::axpy_u32_avx2(acc, w, x) },
+        _ => axpy_scalar(acc, w, x),
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86-64 vector kernels.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Low 64 bits of `r·x` per lane when every lane of `r` is `< 2^32`
+    /// (a zero-extended `u32` database entry):
+    /// `r·x mod 2^64 = r·lo32(x) + ((r·hi32(x)) << 32)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn mul64_by_u32(r: __m256i, x: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(r, x);
+        let hi = _mm256_mul_epu32(r, _mm256_srli_epi64::<32>(x));
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(hi))
+    }
+
+    /// Low 64 bits of `a·b` per lane for arbitrary 64-bit lanes:
+    /// `lo64(a·b) = a_lo·b_lo + ((a_lo·b_hi + a_hi·b_lo) << 32)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let c1 = _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b));
+        let c2 = _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b);
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(_mm256_add_epi64(c1, c2)))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn hsum_epi64(v: __m256i) -> u64 {
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is a valid, writable 32-byte buffer; storeu
+        // has no alignment requirement.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), v) };
+        lanes.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn hsum_epi32(v: __m256i) -> u32 {
+        let mut lanes = [0u32; 8];
+        // SAFETY: `lanes` is a valid, writable 32-byte buffer; storeu
+        // has no alignment requirement.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), v) };
+        lanes.iter().fold(0u32, |a, &b| a.wrapping_add(b))
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (established by the dispatcher's
+    /// cached `is_x86_feature_detected!("avx2")` probe).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_u32_u64_avx2(row: &[u32], v: &[u64]) -> u64 {
+        debug_assert_eq!(row.len(), v.len());
+        let n = row.len().min(v.len());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n` bounds the two 16-byte u32 loads at
+            // offsets `i` and `i + 4` and the two 32-byte u64 loads at
+            // the same offsets inside their slices; loadu tolerates
+            // unaligned addresses.
+            let (r0, r1, x0, x1) = unsafe {
+                (
+                    _mm256_cvtepu32_epi64(_mm_loadu_si128(row.as_ptr().add(i).cast())),
+                    _mm256_cvtepu32_epi64(_mm_loadu_si128(row.as_ptr().add(i + 4).cast())),
+                    _mm256_loadu_si256(v.as_ptr().add(i).cast()),
+                    _mm256_loadu_si256(v.as_ptr().add(i + 4).cast()),
+                )
+            };
+            acc0 = _mm256_add_epi64(acc0, mul64_by_u32(r0, x0));
+            acc1 = _mm256_add_epi64(acc1, mul64_by_u32(r1, x1));
+            i += 8;
+        }
+        let mut acc = hsum_epi64(_mm256_add_epi64(acc0, acc1));
+        while i < n {
+            acc = acc.wrapping_add((row[i] as u64).wrapping_mul(v[i]));
+            i += 1;
+        }
+        acc
+    }
+
+    /// 512-bit low-64 multiply for lanes with `r < 2^32`: on AVX-512DQ
+    /// hardware with IFMA-class multipliers (Ice Lake and later) the
+    /// native `vpmullq` beats the two-`vpmuludq` decomposition, so the
+    /// narrow case just uses the full multiply.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    fn mul64_by_u32_512(r: __m512i, x: __m512i) -> __m512i {
+        _mm512_mullo_epi64(r, x)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F and AVX-512DQ (established by the
+    /// dispatcher's cached feature probe).
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn dot_u32_u64_avx512(row: &[u32], v: &[u64]) -> u64 {
+        debug_assert_eq!(row.len(), v.len());
+        let n = row.len().min(v.len());
+        let mut acc0 = _mm512_setzero_si512();
+        let mut acc1 = _mm512_setzero_si512();
+        let mut acc2 = _mm512_setzero_si512();
+        let mut acc3 = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 32 <= n {
+            // SAFETY: `i + 32 <= n` bounds the four 32-byte u32 loads
+            // and the four 64-byte u64 loads at offsets `i`, `i + 8`,
+            // `i + 16`, `i + 24`; the epi32/epi64 loadu intrinsics are
+            // unaligned loads.
+            unsafe {
+                let r0 = _mm512_cvtepu32_epi64(_mm256_loadu_si256(row.as_ptr().add(i).cast()));
+                let r1 = _mm512_cvtepu32_epi64(_mm256_loadu_si256(row.as_ptr().add(i + 8).cast()));
+                let r2 = _mm512_cvtepu32_epi64(_mm256_loadu_si256(row.as_ptr().add(i + 16).cast()));
+                let r3 = _mm512_cvtepu32_epi64(_mm256_loadu_si256(row.as_ptr().add(i + 24).cast()));
+                let x0 = _mm512_loadu_epi64(v.as_ptr().add(i).cast());
+                let x1 = _mm512_loadu_epi64(v.as_ptr().add(i + 8).cast());
+                let x2 = _mm512_loadu_epi64(v.as_ptr().add(i + 16).cast());
+                let x3 = _mm512_loadu_epi64(v.as_ptr().add(i + 24).cast());
+                acc0 = _mm512_add_epi64(acc0, mul64_by_u32_512(r0, x0));
+                acc1 = _mm512_add_epi64(acc1, mul64_by_u32_512(r1, x1));
+                acc2 = _mm512_add_epi64(acc2, mul64_by_u32_512(r2, x2));
+                acc3 = _mm512_add_epi64(acc3, mul64_by_u32_512(r3, x3));
+            }
+            i += 32;
+        }
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n` bounds one 32-byte u32 load and one
+            // 64-byte u64 load at offset `i`.
+            unsafe {
+                let r = _mm512_cvtepu32_epi64(_mm256_loadu_si256(row.as_ptr().add(i).cast()));
+                let x = _mm512_loadu_epi64(v.as_ptr().add(i).cast());
+                acc0 = _mm512_add_epi64(acc0, mul64_by_u32_512(r, x));
+            }
+            i += 8;
+        }
+        let mut lanes = [0u64; 8];
+        // SAFETY: `lanes` is a valid, writable 64-byte buffer.
+        unsafe {
+            _mm512_storeu_epi64(
+                lanes.as_mut_ptr().cast(),
+                _mm512_add_epi64(_mm512_add_epi64(acc0, acc1), _mm512_add_epi64(acc2, acc3)),
+            )
+        };
+        let mut acc = lanes.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        while i < n {
+            acc = acc.wrapping_add((row[i] as u64).wrapping_mul(v[i]));
+            i += 1;
+        }
+        acc
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_u32_u32_avx2(row: &[u32], v: &[u32]) -> u32 {
+        debug_assert_eq!(row.len(), v.len());
+        let n = row.len().min(v.len());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` bounds all four 32-byte loads at
+            // offsets `i` and `i + 8` inside both slices.
+            let (r0, r1, x0, x1) = unsafe {
+                (
+                    _mm256_loadu_si256(row.as_ptr().add(i).cast()),
+                    _mm256_loadu_si256(row.as_ptr().add(i + 8).cast()),
+                    _mm256_loadu_si256(v.as_ptr().add(i).cast()),
+                    _mm256_loadu_si256(v.as_ptr().add(i + 8).cast()),
+                )
+            };
+            acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(r0, x0));
+            acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(r1, x1));
+            i += 16;
+        }
+        let mut acc = hsum_epi32(_mm256_add_epi32(acc0, acc1));
+        while i < n {
+            acc = acc.wrapping_add(row[i].wrapping_mul(v[i]));
+            i += 1;
+        }
+        acc
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F and AVX-512DQ.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn dot_u32_u32_avx512(row: &[u32], v: &[u32]) -> u32 {
+        debug_assert_eq!(row.len(), v.len());
+        let n = row.len().min(v.len());
+        let mut acc0 = _mm512_setzero_si512();
+        let mut acc1 = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 32 <= n {
+            // SAFETY: `i + 32 <= n` bounds all four 64-byte loads at
+            // offsets `i` and `i + 16` inside both slices.
+            let (r0, r1, x0, x1) = unsafe {
+                (
+                    _mm512_loadu_epi32(row.as_ptr().add(i).cast()),
+                    _mm512_loadu_epi32(row.as_ptr().add(i + 16).cast()),
+                    _mm512_loadu_epi32(v.as_ptr().add(i).cast()),
+                    _mm512_loadu_epi32(v.as_ptr().add(i + 16).cast()),
+                )
+            };
+            acc0 = _mm512_add_epi32(acc0, _mm512_mullo_epi32(r0, x0));
+            acc1 = _mm512_add_epi32(acc1, _mm512_mullo_epi32(r1, x1));
+            i += 32;
+        }
+        let mut lanes = [0u32; 16];
+        // SAFETY: `lanes` is a valid, writable 64-byte buffer.
+        unsafe {
+            _mm512_storeu_epi32(
+                lanes.as_mut_ptr().cast(),
+                _mm512_add_epi32(acc0, acc1),
+            )
+        };
+        let mut acc = lanes.iter().fold(0u32, |a, &b| a.wrapping_add(b));
+        while i < n {
+            acc = acc.wrapping_add(row[i].wrapping_mul(v[i]));
+            i += 1;
+        }
+        acc
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_wide_u64_avx2(a: &[u64], b: &[u64]) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len().min(b.len());
+        let mut vacc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` bounds both 32-byte loads.
+            let (x, y) = unsafe {
+                (
+                    _mm256_loadu_si256(a.as_ptr().add(i).cast()),
+                    _mm256_loadu_si256(b.as_ptr().add(i).cast()),
+                )
+            };
+            vacc = _mm256_add_epi64(vacc, mullo64(x, y));
+            i += 4;
+        }
+        let mut acc = hsum_epi64(vacc);
+        while i < n {
+            acc = acc.wrapping_add(a[i].wrapping_mul(b[i]));
+            i += 1;
+        }
+        acc
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F and AVX-512DQ.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn dot_wide_u64_avx512(a: &[u64], b: &[u64]) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len().min(b.len());
+        let mut vacc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n` bounds both 64-byte loads.
+            let (x, y) = unsafe {
+                (
+                    _mm512_loadu_epi64(a.as_ptr().add(i).cast()),
+                    _mm512_loadu_epi64(b.as_ptr().add(i).cast()),
+                )
+            };
+            vacc = _mm512_add_epi64(vacc, _mm512_mullo_epi64(x, y));
+            i += 8;
+        }
+        let mut lanes = [0u64; 8];
+        // SAFETY: `lanes` is a valid, writable 64-byte buffer.
+        unsafe { _mm512_storeu_epi64(lanes.as_mut_ptr().cast(), vacc) };
+        let mut acc = lanes.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        while i < n {
+            acc = acc.wrapping_add(a[i].wrapping_mul(b[i]));
+            i += 1;
+        }
+        acc
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_u64_avx2(acc: &mut [u64], w: u64, x: &[u64]) {
+        debug_assert_eq!(acc.len(), x.len());
+        let n = acc.len().min(x.len());
+        let wv = _mm256_set1_epi64x(w as i64);
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` bounds the 32-byte load from `x`,
+            // and the load/store pair on `acc`, inside their slices.
+            unsafe {
+                let xv = _mm256_loadu_si256(x.as_ptr().add(i).cast());
+                let av = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+                _mm256_storeu_si256(
+                    acc.as_mut_ptr().add(i).cast(),
+                    _mm256_add_epi64(av, mullo64(wv, xv)),
+                );
+            }
+            i += 4;
+        }
+        while i < n {
+            acc[i] = acc[i].wrapping_add(w.wrapping_mul(x[i]));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F and AVX-512DQ.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn axpy_u64_avx512(acc: &mut [u64], w: u64, x: &[u64]) {
+        debug_assert_eq!(acc.len(), x.len());
+        let n = acc.len().min(x.len());
+        let wv = _mm512_set1_epi64(w as i64);
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n` bounds the 64-byte load from `x`,
+            // and the load/store pair on `acc`, inside their slices.
+            unsafe {
+                let xv = _mm512_loadu_epi64(x.as_ptr().add(i).cast());
+                let av = _mm512_loadu_epi64(acc.as_ptr().add(i).cast());
+                _mm512_storeu_epi64(
+                    acc.as_mut_ptr().add(i).cast(),
+                    _mm512_add_epi64(av, _mm512_mullo_epi64(wv, xv)),
+                );
+            }
+            i += 8;
+        }
+        while i < n {
+            acc[i] = acc[i].wrapping_add(w.wrapping_mul(x[i]));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_u32_avx2(acc: &mut [u32], w: u32, x: &[u32]) {
+        debug_assert_eq!(acc.len(), x.len());
+        let n = acc.len().min(x.len());
+        let wv = _mm256_set1_epi32(w as i32);
+        let mut i = 0;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n` bounds the 32-byte load from `x`,
+            // and the load/store pair on `acc`, inside their slices.
+            unsafe {
+                let xv = _mm256_loadu_si256(x.as_ptr().add(i).cast());
+                let av = _mm256_loadu_si256(acc.as_ptr().add(i).cast());
+                _mm256_storeu_si256(
+                    acc.as_mut_ptr().add(i).cast(),
+                    _mm256_add_epi32(av, _mm256_mullo_epi32(wv, xv)),
+                );
+            }
+            i += 8;
+        }
+        while i < n {
+            acc[i] = acc[i].wrapping_add(w.wrapping_mul(x[i]));
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F and AVX-512DQ.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn axpy_u32_avx512(acc: &mut [u32], w: u32, x: &[u32]) {
+        debug_assert_eq!(acc.len(), x.len());
+        let n = acc.len().min(x.len());
+        let wv = _mm512_set1_epi32(w as i32);
+        let mut i = 0;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` bounds the 64-byte load from `x`,
+            // and the load/store pair on `acc`, inside their slices.
+            unsafe {
+                let xv = _mm512_loadu_epi32(x.as_ptr().add(i).cast());
+                let av = _mm512_loadu_epi32(acc.as_ptr().add(i).cast());
+                _mm512_storeu_epi32(
+                    acc.as_mut_ptr().add(i).cast(),
+                    _mm512_add_epi32(av, _mm512_mullo_epi32(wv, xv)),
+                );
+            }
+            i += 16;
+        }
+        while i < n {
+            acc[i] = acc[i].wrapping_add(w.wrapping_mul(x[i]));
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn narrow_case(len: usize, seed: u64) -> (Vec<u32>, Vec<u64>) {
+        let row: Vec<u32> =
+            (0..len).map(|i| (i as u32).wrapping_mul(2654435761).wrapping_add(seed as u32)).collect();
+        let v: Vec<u64> = (0..len)
+            .map(|i| (i as u64 ^ seed).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed))
+            .collect();
+        (row, v)
+    }
+
+    /// Lengths that exercise every unroll boundary: empty, sub-lane,
+    /// exact multiples of each tier's stride, and ragged tails.
+    const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 257];
+
+    #[test]
+    fn dispatched_dot_narrow_matches_scalar_u64() {
+        for &len in LENS {
+            let (row, v) = narrow_case(len, 7);
+            assert_eq!(dot_u32_u64(&row, &v), dot_narrow_scalar(&row, &v), "len={len}");
+        }
+    }
+
+    #[test]
+    fn dispatched_dot_narrow_matches_scalar_u32() {
+        for &len in LENS {
+            let (row, v) = narrow_case(len, 11);
+            let v32: Vec<u32> = v.iter().map(|&x| x as u32).collect();
+            assert_eq!(dot_u32_u32(&row, &v32), dot_narrow_scalar(&row, &v32), "len={len}");
+        }
+    }
+
+    #[test]
+    fn dispatched_dot_wide_matches_scalar() {
+        for &len in LENS {
+            let (_, a) = narrow_case(len, 13);
+            let (_, b) = narrow_case(len, 17);
+            assert_eq!(dot_wide_u64(&a, &b), dot_wide_scalar(&a, &b), "len={len}");
+        }
+    }
+
+    #[test]
+    fn dispatched_axpy_matches_scalar() {
+        for &len in LENS {
+            let (_, x) = narrow_case(len, 19);
+            for w in [0u64, 1, 5, u64::MAX, (-3i64) as u64, 1 << 40] {
+                let mut got: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(99)).collect();
+                let mut want = got.clone();
+                axpy_u64(&mut got, w, &x);
+                axpy_scalar(&mut want, w, &x);
+                assert_eq!(got, want, "len={len}, w={w}");
+            }
+            let x32: Vec<u32> = x.iter().map(|&v| v as u32).collect();
+            let mut got: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(7)).collect();
+            let mut want = got.clone();
+            axpy_u32(&mut got, 0xdead_beef, &x32);
+            axpy_scalar(&mut want, 0xdead_beef, &x32);
+            assert_eq!(got, want, "len={len} (u32)");
+        }
+    }
+
+    /// Exercises every vector tier the host actually supports directly
+    /// (not just the one `tier()` picked), so a single machine tests
+    /// each implementation against the scalar oracle.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn every_supported_tier_is_bit_identical_to_scalar() {
+        let avx2 = is_x86_feature_detected!("avx2");
+        let avx512 = is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq");
+        for &len in LENS {
+            let (row, v) = narrow_case(len, 23);
+            let v32: Vec<u32> = v.iter().map(|&x| x as u32).collect();
+            let w = 0xfeed_f00d_dead_beefu64;
+            if avx2 {
+                // SAFETY: avx2 was detected above.
+                unsafe {
+                    assert_eq!(x86::dot_u32_u64_avx2(&row, &v), dot_narrow_scalar(&row, &v));
+                    assert_eq!(x86::dot_u32_u32_avx2(&row, &v32), dot_narrow_scalar(&row, &v32));
+                    assert_eq!(x86::dot_wide_u64_avx2(&v, &v), dot_wide_scalar(&v, &v));
+                    let mut got = v.clone();
+                    let mut want = v.clone();
+                    x86::axpy_u64_avx2(&mut got, w, &v);
+                    axpy_scalar(&mut want, w, &v);
+                    assert_eq!(got, want);
+                }
+            }
+            if avx512 {
+                // SAFETY: avx512f+avx512dq were detected above.
+                unsafe {
+                    assert_eq!(x86::dot_u32_u64_avx512(&row, &v), dot_narrow_scalar(&row, &v));
+                    assert_eq!(x86::dot_u32_u32_avx512(&row, &v32), dot_narrow_scalar(&row, &v32));
+                    assert_eq!(x86::dot_wide_u64_avx512(&v, &v), dot_wide_scalar(&v, &v));
+                    let mut got = v.clone();
+                    let mut want = v.clone();
+                    x86::axpy_u64_avx512(&mut got, w, &v);
+                    axpy_scalar(&mut want, w, &v);
+                    assert_eq!(got, want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_is_cached_and_named() {
+        let t = tier();
+        assert_eq!(t, tier(), "tier must be stable across calls");
+        assert!(["scalar", "avx2", "avx512"].contains(&t.name()));
+        assert!(t.code() <= 2);
+        if std::env::var("TIPTOE_FORCE_SCALAR").map(|v| v == "1").unwrap_or(false) {
+            assert_eq!(t, KernelTier::Scalar, "force-scalar knob must pin the scalar tier");
+        }
+    }
+}

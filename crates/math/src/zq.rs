@@ -68,6 +68,29 @@ pub trait Word:
     ///
     /// Fails if the input is truncated.
     fn get_wire(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Runtime-dispatched inner product of a narrow `u32` row with a
+    /// wide vector — the matvec hot loop. Bit-identical to
+    /// [`crate::simd::dot_narrow_scalar`] at every
+    /// [`crate::simd::KernelTier`] (wrapping mod-`2^BITS` sums are
+    /// associative and commutative, so lane regrouping cannot change
+    /// the result).
+    ///
+    /// # Panics
+    ///
+    /// May panic (and in release mode truncates to the shorter length)
+    /// if the slices differ in length; callers keep them equal.
+    fn dot_narrow(row: &[u32], v: &[Self]) -> Self;
+
+    /// Runtime-dispatched inner product of two wide vectors
+    /// (hint-times-secret during decryption). Bit-identical to
+    /// [`crate::simd::dot_wide_scalar`] at every tier.
+    fn dot_wide(a: &[Self], b: &[Self]) -> Self;
+
+    /// Runtime-dispatched `acc[i] += w·x[i]` — the hint-preprocessing
+    /// inner loop (`w` may be a sign-extended full-width multiplier).
+    /// Bit-identical to [`crate::simd::axpy_scalar`] at every tier.
+    fn axpy(acc: &mut [Self], w: Self, x: &[Self]);
 }
 
 impl Word for u32 {
@@ -132,6 +155,23 @@ impl Word for u32 {
     fn get_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         r.get_u32()
     }
+
+    #[inline(always)]
+    fn dot_narrow(row: &[u32], v: &[Self]) -> Self {
+        crate::simd::dot_u32_u32(row, v)
+    }
+
+    #[inline(always)]
+    fn dot_wide(a: &[Self], b: &[Self]) -> Self {
+        // u32 "wide" operands have the same shape as a narrow row, so
+        // the narrow kernel is the dispatched implementation.
+        crate::simd::dot_u32_u32(a, b)
+    }
+
+    #[inline(always)]
+    fn axpy(acc: &mut [Self], w: Self, x: &[Self]) {
+        crate::simd::axpy_u32(acc, w, x)
+    }
 }
 
 impl Word for u64 {
@@ -195,6 +235,21 @@ impl Word for u64 {
 
     fn get_wire(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         r.get_u64()
+    }
+
+    #[inline(always)]
+    fn dot_narrow(row: &[u32], v: &[Self]) -> Self {
+        crate::simd::dot_u32_u64(row, v)
+    }
+
+    #[inline(always)]
+    fn dot_wide(a: &[Self], b: &[Self]) -> Self {
+        crate::simd::dot_wide_u64(a, b)
+    }
+
+    #[inline(always)]
+    fn axpy(acc: &mut [Self], w: Self, x: &[Self]) {
+        crate::simd::axpy_u64(acc, w, x)
     }
 }
 

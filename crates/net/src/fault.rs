@@ -257,7 +257,7 @@ impl FaultPlan {
     pub fn is_benign(&self) -> bool {
         self.sticky.is_empty()
             && self.once.is_empty()
-            && self.rates.map_or(true, |r| {
+            && self.rates.is_none_or(|r| {
                 r.crash <= 0.0 && r.straggle <= 0.0 && r.corrupt <= 0.0 && r.truncate <= 0.0
             })
     }
@@ -625,7 +625,7 @@ pub fn dispatch_faulty_gated<T, R>(
                     match backup {
                         Delivery::Ok { value: v, at } => {
                             let arrival = h + at;
-                            if best.as_ref().map_or(true, |(_, p)| arrival < *p) {
+                            if best.as_ref().is_none_or(|(_, p)| arrival < *p) {
                                 best = Some((v, arrival));
                             }
                         }

@@ -26,7 +26,7 @@ pub mod overload;
 pub mod pool;
 pub mod service;
 
-pub use coalesce::{CoalescePolicy, Coalescer, MAX_LANE_RETRIES};
+pub use coalesce::{chaos_inject_reactor_panic, CoalescePolicy, Coalescer, MAX_LANE_RETRIES};
 pub use fault::{
     dispatch_faulty, dispatch_faulty_gated, open, seal, shard_response_histogram, FaultKind,
     FaultPlan, FaultPolicy, FaultRates, FaultReport, ShardReport,

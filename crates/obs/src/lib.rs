@@ -207,7 +207,7 @@ pub fn begin_query() {
     }
     let every = SAMPLE_EVERY.load(Ordering::Relaxed).max(1);
     let i = QUERY_COUNTER.fetch_add(1, Ordering::Relaxed);
-    let sampled = i % every == 0;
+    let sampled = i.is_multiple_of(every);
     SAMPLED.store(sampled, Ordering::Relaxed);
     if sampled {
         clear_spans();

@@ -167,6 +167,20 @@ impl PirServer {
         self.uh.generate_token_expanded(&self.server_hint, es)
     }
 
+    /// Batched token generation for `B` clients in one pass over the
+    /// hint polynomials (each bit-identical to
+    /// [`PirServer::generate_token_expanded`] for that client); the
+    /// serving plane's token lane flushes through this kernel.
+    pub fn generate_token_expanded_many(
+        &self,
+        secrets: &[&ExpandedSecret],
+        num_threads: usize,
+    ) -> Vec<QueryToken> {
+        let mut span = tiptoe_obs::span("pir.token_gen");
+        span.attr_u64("batch", secrets.len() as u64);
+        self.uh.generate_token_expanded_many(&self.server_hint, secrets, num_threads)
+    }
+
     /// Answers an online query: `answer = DB · ct`
     /// (touches every record, so the access pattern is
     /// query-independent).

@@ -433,6 +433,105 @@ impl Underhood {
         QueryToken { chunks, rows: sh.rows }
     }
 
+    /// Batched token generation: evaluates one hint against `B`
+    /// clients' expanded secrets in a single pass over the hint
+    /// polynomials.
+    ///
+    /// Token generation is memory-bound on the hint: each `(chunk,
+    /// limb, coordinate)` Shoup polynomial is far larger than the
+    /// per-client accumulators. The per-client path re-reads every
+    /// polynomial from DRAM once per client; here the inner loop loads
+    /// each polynomial once and multiply-accumulates it into all `B`
+    /// clients' accumulators while it is hot — the token-path
+    /// counterpart of the batched matvec kernels, and what the serving
+    /// plane's token lane flushes through.
+    ///
+    /// Each client's accumulation order over the secret coordinates is
+    /// unchanged, so every returned token is bit-identical to
+    /// [`Underhood::generate_token_expanded`] for that client alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any expansion covers fewer coordinates than the
+    /// hint's secret dimension.
+    pub fn generate_token_expanded_many(
+        &self,
+        sh: &ServerHint,
+        secrets: &[&ExpandedSecret],
+        num_threads: usize,
+    ) -> Vec<QueryToken> {
+        let b = secrets.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        for es in secrets {
+            assert!(es.len() >= sh.n, "encrypted secret too short for this hint");
+        }
+        let n_ring = self.ctx.params().degree;
+        let limbs = self.limbs as usize;
+        let units = sh.chunks() * limbs;
+        // `(chunk, limb)` units fan out across threads exactly as in
+        // the per-client parallel path; the batch dimension stays
+        // inside each unit, where the polynomial reuse lives.
+        let mut flat: Vec<Option<Vec<SwitchedCiphertext>>> = (0..units).map(|_| None).collect();
+        tiptoe_math::par::par_spans_mut(&mut flat, 1, num_threads, |start, span| {
+            let table = self.ctx.table();
+            let mut acc_a = vec![vec![0u64; n_ring]; b];
+            let mut acc_b = vec![vec![0u64; n_ring]; b];
+            for (off, slot) in span.iter_mut().enumerate() {
+                let unit = start + off;
+                let limb_polys = &sh.polys[unit / limbs][unit % limbs];
+                for acc in acc_a.iter_mut().chain(acc_b.iter_mut()) {
+                    acc.iter_mut().for_each(|x| *x = 0);
+                }
+                for (i, h_poly) in limb_polys.iter().enumerate() {
+                    // One DRAM read of `h_poly` serves the whole batch.
+                    for (bi, es) in secrets.iter().enumerate() {
+                        let z = &es.z[i];
+                        table.mul_acc_shoup(h_poly, z.a.data(), &mut acc_a[bi]);
+                        table.mul_acc_shoup(h_poly, z.b.data(), &mut acc_b[bi]);
+                    }
+                }
+                *slot = Some(
+                    (0..b)
+                        .map(|bi| {
+                            let acc = RlweCiphertext {
+                                a: Poly::from_ntt_data(
+                                    std::sync::Arc::clone(table),
+                                    acc_a[bi].clone(),
+                                ),
+                                b: Poly::from_ntt_data(
+                                    std::sync::Arc::clone(table),
+                                    acc_b[bi].clone(),
+                                ),
+                            };
+                            mod_switch(&self.ctx, &acc, self.switch_log_q2)
+                        })
+                        .collect(),
+                );
+            }
+        });
+        // Transpose [unit][client] into per-client chunk×limb layouts.
+        let mut per_client: Vec<Vec<SwitchedCiphertext>> =
+            (0..b).map(|_| Vec::with_capacity(units)).collect();
+        for unit_cts in flat {
+            let unit_cts = unit_cts.expect("every unit computed");
+            for (bi, ct) in unit_cts.into_iter().enumerate() {
+                per_client[bi].push(ct);
+            }
+        }
+        per_client
+            .into_iter()
+            .map(|units_flat| {
+                let mut it = units_flat.into_iter();
+                let chunks = (0..sh.chunks())
+                    .map(|_| (0..limbs).map(|_| it.next().expect("unit count")).collect())
+                    .collect();
+                QueryToken { chunks, rows: sh.rows }
+            })
+            .collect()
+    }
+
     /// Decodes a token into the `H·s` words needed for inner
     /// decryption (client side, before the query).
     pub fn decode_token<W: Word>(&self, key: &ClientKey, token: &QueryToken) -> DecodedToken<W> {
@@ -780,6 +879,37 @@ mod tests {
             let par = uh.generate_token_expanded_par(&sh, &expanded, threads).encode();
             assert_eq!(par, sequential, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn batched_token_generation_is_bit_identical_per_client() {
+        // Three clients with independent keys against one multi-chunk
+        // hint: every batched token must equal that client's solo
+        // token byte-for-byte, at several thread counts (the batch
+        // dimension lives inside each parallel unit).
+        let uh = test_underhood_64();
+        let mut rng = seeded_rng(31);
+        let db = random_db(&mut rng, 150, 32, 8);
+        let a = MatrixA::new(23, 32, uh.lwe().n);
+        let hint = preproc::<u64>(&db, &a.row_range(0, 32));
+        let sh = uh.preprocess_hint(&hint);
+        let expansions: Vec<ExpandedSecret> = (0..3)
+            .map(|_| {
+                let key = ClientKey::generate(&uh, uh.lwe().n, &mut rng);
+                EncryptedSecret::encrypt(&uh, &key, &mut rng).expand(&uh)
+            })
+            .collect();
+        let solo: Vec<Vec<u8>> =
+            expansions.iter().map(|es| uh.generate_token_expanded(&sh, es).encode()).collect();
+        let refs: Vec<&ExpandedSecret> = expansions.iter().collect();
+        for threads in [1, 2, 3] {
+            let batched = uh.generate_token_expanded_many(&sh, &refs, threads);
+            assert_eq!(batched.len(), 3);
+            for (bi, token) in batched.iter().enumerate() {
+                assert_eq!(token.encode(), solo[bi], "client {bi}, threads={threads}");
+            }
+        }
+        assert!(uh.generate_token_expanded_many(&sh, &[], 1).is_empty());
     }
 
     #[test]

@@ -83,8 +83,12 @@ fn lane_crash_mid_flush_loses_no_request() {
     // their own submitters, so with MAX_LANE_RETRIES > 2 every request
     // must still come back — exactly once, with its own answer.
     let crashes_left = AtomicU64::new(2);
-    let policy =
-        CoalescePolicy { max_batch: 4, max_wait: Duration::from_millis(5), queue_depth: 64 };
+    let policy = CoalescePolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(5),
+        queue_depth: 64,
+        adaptive: false,
+    };
     let c = Coalescer::new(policy, |reqs: Vec<u64>| {
         let crash = crashes_left
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v.saturating_sub(1)))
@@ -129,11 +133,15 @@ fn fuzzed_lane_crashes_answer_correctly_or_fail_typed() {
     // typed LaneFailed. Nothing panics, nothing is miscounted.
     let seed = chaos_seed();
     let flush_idx = AtomicU64::new(0);
-    let policy =
-        CoalescePolicy { max_batch: 4, max_wait: Duration::from_millis(2), queue_depth: 64 };
+    let policy = CoalescePolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        queue_depth: 64,
+        adaptive: false,
+    };
     let c = Coalescer::new(policy, |reqs: Vec<u64>| {
         let i = flush_idx.fetch_add(1, Ordering::SeqCst);
-        if splitmix(seed ^ i) % 4 == 0 {
+        if splitmix(seed ^ i).is_multiple_of(4) {
             panic!("fuzzed lane crash at flush {i}");
         }
         reqs.into_iter().map(|r| r ^ 0xABCD).collect()
@@ -162,6 +170,60 @@ fn fuzzed_lane_crashes_answer_correctly_or_fail_typed() {
 }
 
 #[test]
+fn reactor_crash_mid_flush_loses_no_request_and_duplicates_none() {
+    // Kill the coalescer's timer thread at its worst moment — after it
+    // pops due deadlines but before it fires them — while 12
+    // submitters race in small waves (so some batches are partial and
+    // depend on the timer). Every request must come back exactly once
+    // with its own answer: parked waiters' fallback timeouts drain any
+    // batch the dead timer abandoned, and the generation protocol
+    // ensures a request drained by one path can't be re-flushed by
+    // another.
+    let served = AtomicUsize::new(0);
+    let policy = CoalescePolicy {
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        queue_depth: 64,
+        adaptive: false,
+    };
+    let c = Coalescer::new(policy, |reqs: Vec<u64>| {
+        served.fetch_add(reqs.len(), Ordering::SeqCst);
+        reqs.into_iter().map(|r| r.wrapping_mul(7).wrapping_add(3)).collect()
+    });
+    let reactor_crashes_before =
+        tiptoe_obs::metrics().counter("net.coalesce.reactor_crashes").get();
+    tiptoe_net::chaos_inject_reactor_panic();
+    let delivered = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..12u64 {
+            let (c, delivered) = (&c, &delivered);
+            scope.spawn(move || {
+                // Staggered arrivals: three waves of four, so the
+                // injected crash lands while partial batches are
+                // waiting on the (dead) timer.
+                std::thread::sleep(Duration::from_micros(300 * (i / 4)));
+                let resp = c
+                    .submit_within(i, Duration::from_secs(60))
+                    .expect("a reactor crash must not fail requests");
+                assert_eq!(resp, i.wrapping_mul(7).wrapping_add(3), "answer belongs to request");
+                delivered.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(delivered.load(Ordering::SeqCst), 12, "no request lost to the timer crash");
+    assert_eq!(served.load(Ordering::SeqCst), 12, "no request duplicated into a second flush");
+    // The injected panic actually fired and was contained (the
+    // reactor thread restarts its loop rather than dying silently).
+    assert!(
+        tiptoe_obs::metrics().counter("net.coalesce.reactor_crashes").get()
+            > reactor_crashes_before,
+        "chaos injection must have crashed the reactor"
+    );
+    // The plane still coalesces afterwards: a fresh submit succeeds.
+    assert_eq!(c.submit_within(100, Duration::from_secs(60)).expect("post-crash"), 703);
+}
+
+#[test]
 fn fuzzed_poisoned_pool_workers_degrade_without_loss() {
     // A seeded stream of poison requests across 32 fan-out rounds:
     // exactly the poisoned slots degrade to None, every other slot
@@ -176,7 +238,7 @@ fn fuzzed_poisoned_pool_workers_degrade_without_loss() {
     for round in 0..32u64 {
         let reqs: Vec<u64> = (0..4)
             .map(|w| {
-                if splitmix(seed ^ (round * 4 + w)) % 5 == 0 { POISON } else { round * 4 + w }
+                if splitmix(seed ^ (round * 4 + w)).is_multiple_of(5) { POISON } else { round * 4 + w }
             })
             .collect();
         let out = pool.try_scatter_gather(reqs.clone());

@@ -121,6 +121,55 @@ fn concurrent_served_searches_stay_bit_identical() {
     assert_eq!(expect, got, "coalesced fleet must match sequential clients");
 }
 
+/// A lone client pays no coalescing latency: with nobody to batch
+/// with, every lane it crosses flushes solo instead of waiting for
+/// the flush deadline, so a served search stays within a small factor
+/// of a direct one even under a deliberately deployment-scale
+/// deadline. (The old thread-cooperative scheduler made a lone query
+/// wait out `max_wait` once per lane — with this config's 200 ms
+/// deadline across the token, shard, and URL lanes, well over a
+/// second of pure idle waiting per query.)
+#[test]
+fn solo_served_searches_do_not_wait_out_the_flush_deadline() {
+    let corpus = generate(&CorpusConfig::small(DOCS, SEED), 24);
+    let mut config = TiptoeConfig::test_small(DOCS, SEED);
+    config.num_shards = SHARDS;
+    config.coalesce.max_wait = std::time::Duration::from_millis(200);
+    config.validate();
+    let embedder = TextEmbedder::new(config.d_embed, SEED, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+
+    let solo_before =
+        tiptoe_obs::metrics().counter_with("net.coalesce.flushes", Some("solo".into())).get();
+    let mut direct = instance.new_client(41);
+    let mut served = instance.new_client(41);
+    let q = &corpus.queries[0];
+    let t0 = std::time::Instant::now();
+    let a = direct.search(&instance, &q.text, 10);
+    let direct_elapsed = t0.elapsed();
+    let plane = instance.serving_plane();
+    let t0 = std::time::Instant::now();
+    let b = served.search_served(&instance, &q.text, 10, &plane);
+    let served_elapsed = t0.elapsed();
+    assert_eq!(a.hits, b.hits, "solo served search must stay bit-identical");
+
+    // The mechanism: the lone query's lane crossings flushed solo
+    // (the counter is process-global, so only monotonicity is
+    // asserted — other tests may flush concurrently).
+    assert!(
+        tiptoe_obs::metrics().counter_with("net.coalesce.flushes", Some("solo".into())).get()
+            > solo_before,
+        "a lone served search must take the solo fast path"
+    );
+    // The latency pin, with slack for debug builds and CI noise: the
+    // old scheduler's per-lane idle waits would add over a second
+    // here; a small multiple of direct latency is the budget.
+    assert!(
+        served_elapsed < direct_elapsed * 3 + std::time::Duration::from_millis(100),
+        "solo served search took {served_elapsed:?} vs direct {direct_elapsed:?}"
+    );
+}
+
 /// Coalescing composes with fault injection: under a seeded plan with
 /// a crashed shard, served searches degrade exactly like unserved
 /// ones — same hits, same missing clusters, same failed shards.
