@@ -70,12 +70,19 @@ fn reps() -> usize {
 /// additive, so the smallest sample is the least contaminated one.
 /// Each measured rep is an obs span, so `TIPTOE_TRACE=…` captures the
 /// per-rep timeline (including the kernels' own `lwe.*` child spans).
+/// Every measured rep is also recorded into the `bench.rep_us`
+/// registry histogram; the run reports its rep count and mean from a
+/// [`tiptoe_obs::metrics::MetricsSnapshot::delta`] over the measured
+/// interval, so a warm registry (or a co-resident bench) cannot
+/// contaminate the numbers.
 fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     std::hint::black_box(f());
+    let hist = tiptoe_obs::metrics().histogram("bench.rep_us");
     (0..reps)
         .map(|_| {
             let (out, wall) = tiptoe_obs::timed_span("bench.rep", &mut f);
             std::hint::black_box(out);
+            hist.record(wall.as_micros() as u64);
             wall.as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
@@ -106,6 +113,7 @@ fn thread_sweep(top: usize) -> Vec<usize> {
 
 fn main() {
     tiptoe_obs::init_from_env();
+    let run_start = tiptoe_obs::metrics().snapshot();
     let reps = reps();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = max_threads();
@@ -187,13 +195,21 @@ fn main() {
         push("preproc", format!("parallel_t{t}"), &shape, seconds, scalar, note);
     }
 
-    // --- Emit BENCH_kernels.json at the workspace root. ---
+    // --- Emit BENCH_kernels.json at the workspace root. The rep
+    // accounting comes from a metrics-snapshot delta over the run, so
+    // it covers exactly this run's samples. ---
+    let run_delta = tiptoe_obs::metrics().snapshot().delta(&run_start);
+    let rep_us = run_delta.histograms.iter().find(|h| h.name == "bench.rep_us");
+    let rep_samples = rep_us.map_or(0, |h| h.count);
+    let rep_mean_us = rep_us.map_or(0, |h| h.sum.checked_div(h.count).unwrap_or(0));
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
     let _ = writeln!(json, "  \"cores_detected\": {cores},");
     let _ = writeln!(json, "  \"threads_used\": {threads},");
     let _ = writeln!(json, "  \"simd_tier\": \"{tier}\",");
     let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"rep_samples\": {rep_samples},");
+    let _ = writeln!(json, "  \"rep_mean_us\": {rep_mean_us},");
     let _ = writeln!(json, "  \"stat\": \"min\",");
     let _ = writeln!(json, "  \"results\": [");
     for (i, e) in entries.iter().enumerate() {

@@ -174,15 +174,10 @@ impl ServingBenchOutcome {
     }
 }
 
-/// Cumulative flush count from the serving plane's batch-size
-/// histogram (one sample per flush, i.e. per lane scan).
-fn flushes_so_far() -> u64 {
-    tiptoe_obs::metrics()
-        .snapshot()
-        .histograms
-        .iter()
-        .find(|h| h.name == "net.coalesce.batch_size")
-        .map_or(0, |h| h.count)
+/// Flush count (one sample per flush, i.e. per lane scan) in a
+/// metrics-snapshot delta over the measured interval.
+fn flushes_in(delta: &tiptoe_obs::metrics::MetricsSnapshot) -> u64 {
+    delta.histograms.iter().find(|h| h.name == "net.coalesce.batch_size").map_or(0, |h| h.count)
 }
 
 /// Builds the instance, spot-checks that coalesced serving is
@@ -243,14 +238,14 @@ pub fn run_serving_bench(cfg: &ServingBenchConfig) -> ServingBenchOutcome {
             queries_per_scan: direct.queries as f64 / scans as f64,
         });
 
-        let before = flushes_so_far();
+        let before = tiptoe_obs::metrics().snapshot();
         let coalesced = measure_online_throughput_coalesced(
             &instance,
             &corpus,
             clients,
             cfg.queries_per_client,
         );
-        let scans = flushes_so_far() - before;
+        let scans = flushes_in(&tiptoe_obs::metrics().snapshot().delta(&before));
         assert!(scans > 0, "coalesced run must have flushed at least once");
         rows.push(ServingRow {
             clients,

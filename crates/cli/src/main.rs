@@ -6,6 +6,7 @@
 //! tiptoe search QUERY...            # synthetic corpus, run queries, exit
 //! tiptoe serve-bench [CLIENTS]      # load-test direct vs coalesced serving
 //! tiptoe overload-demo [CLIENTS]    # overload the plane, watch it shed
+//! tiptoe top [CLIENTS] [--json]     # live serving-plane introspection
 //! ```
 //!
 //! In `index` mode, `FILE` holds one document per line, either
@@ -34,7 +35,77 @@ fn usage() -> ! {
     eprintln!("  tiptoe search QUERY...        synthetic corpus, run queries, exit");
     eprintln!("  tiptoe serve-bench [CLIENTS]  load-test direct vs coalesced serving");
     eprintln!("  tiptoe overload-demo [CLIENTS] drive 2x capacity, watch typed sheds");
+    eprintln!("  tiptoe top [CLIENTS] [--json]  drive load, watch live plane snapshots");
     std::process::exit(2);
+}
+
+/// `tiptoe top [CLIENTS] [--json]`: bring up a small instance with
+/// admission control and breakers on, run closed-loop clients against
+/// the coalesced serving plane, and render a live
+/// [`tiptoe_core::serving::PlaneStatus`] snapshot every refresh —
+/// lane occupancy, cohort, breaker states, admission counters,
+/// latency quantiles, and SLO burn rates. `--json` emits one JSON
+/// object per refresh instead of the text panel (exporter mode).
+fn top(clients: Option<usize>, json: bool) -> ! {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let clients = clients.unwrap_or(4).max(1);
+    let docs = 400;
+    let (ticks, tick) = (8, std::time::Duration::from_millis(400));
+    if !json {
+        println!("tiptoe: indexing {docs} synthetic documents ...");
+    }
+    let corpus = generate(&CorpusConfig::small(docs, 7), 0);
+    let mut config = TiptoeConfig::test_small(docs, 7);
+    config.admission.enabled = true;
+    config.admission.max_inflight = clients;
+    config.admission.deadline = std::time::Duration::from_secs(30);
+    config.breaker.enabled = true;
+    config.validate();
+    let embedder = TextEmbedder::new(config.d_embed, 7, 0);
+    let instance = TiptoeInstance::build(&config, embedder, &corpus);
+    let plane = instance.serving_plane();
+
+    let queries = ["museum history archive", "health doctor symptoms", "travel island beach"];
+    let stop = AtomicBool::new(false);
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..clients {
+            let (instance, plane, stop, completed) = (&instance, &plane, &stop, &completed);
+            let query = queries[i % queries.len()];
+            scope.spawn(move || {
+                let mut client = instance.new_client(500 + i as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    if client.try_search_served(instance, query, 5, plane).is_ok() {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        for t in 0..ticks {
+            std::thread::sleep(tick);
+            let status = plane.status();
+            if json {
+                println!("{}", status.to_json());
+            } else {
+                println!(
+                    "--- tick {}/{} ({} queries completed) ---",
+                    t + 1,
+                    ticks,
+                    completed.load(Ordering::Relaxed)
+                );
+                print!("{}", status.render());
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    if !json {
+        println!(
+            "\ntiptoe: {} queries completed by {clients} closed-loop clients",
+            completed.load(Ordering::Relaxed)
+        );
+    }
+    std::process::exit(0);
 }
 
 /// `tiptoe overload-demo [CLIENTS]`: bring up a small instance with
@@ -227,6 +298,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("overload-demo") {
         overload_demo(args.get(1).and_then(|a| a.parse().ok()));
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        let json = args.iter().any(|a| a == "--json");
+        top(args.get(1).and_then(|a| a.parse().ok()), json);
     }
     let (corpus, label) = match args.first().map(String::as_str) {
         Some("demo") => {

@@ -31,6 +31,7 @@ use tiptoe_net::{
     timed, DeadlineBudget, FaultPlan, FaultReport, Ledger, LinkModel, ParallelTiming, Phase,
     ServeError,
 };
+use tiptoe_obs::recorder::{self, result_code, EventKind};
 use tiptoe_pir::PirClient;
 use tiptoe_underhood::{
     combine_decoded_subset, combine_partial_tokens, ClientKey, DecodedToken, EncryptedSecret,
@@ -234,11 +235,11 @@ impl TiptoeClient {
         // round, e.g. in the background between queries) is its own
         // tracing boundary: without this, its spans — notably the
         // per-shard `rank.token_shard` fan-out — would pile into the
-        // previous query's buffer and never be exported.
+        // previous query's buffer and never be exported. The query
+        // scope also gives the prefetch its own flight-recorder
+        // timeline (adopting the surrounding query's when nested).
         let standalone = tiptoe_obs::enabled() && tiptoe_obs::current_span().is_none();
-        if standalone {
-            tiptoe_obs::begin_query();
-        }
+        let _scope = tiptoe_obs::query_scope();
         let cost = self.fetch_token_inner(instance, serving);
         if standalone {
             tiptoe_obs::export::export_query_artifacts();
@@ -480,12 +481,20 @@ impl TiptoeClient {
         plan: Option<&FaultPlan>,
         serving: &ServingPlane<'_>,
     ) -> Result<SearchResults, ServeError> {
+        // The query boundary opens *before* admission so a shed query
+        // still owns a flight-recorder timeline (the shed event plus
+        // its typed outcome); the nested scope inside
+        // `search_in_cluster` adopts this one.
+        let scope = tiptoe_obs::query_scope();
         let permit = match serving.admit() {
             Ok(p) => p,
             Err(e) => {
                 // Shed before any wire bytes: the transcript records
                 // the rejection itself, never a partial phase.
                 instance.transcript.record_shed();
+                let (code, b, c) = e.recorder_code();
+                recorder::record(EventKind::Finished, code, b, c, 0);
+                recorder::dump_on_error(scope.id(), "admission shed");
                 return Err(e);
             }
         };
@@ -565,11 +574,22 @@ impl TiptoeClient {
         serving: Option<&ServingPlane<'_>>,
         budget: Option<&DeadlineBudget>,
     ) -> Result<SearchResults, ServeError> {
-        tiptoe_obs::begin_query();
+        let scope = tiptoe_obs::query_scope();
         let results = {
             let _root = tiptoe_obs::span("client.query");
             self.run_query(instance, query, k, force_cluster, plan, serving, budget)
         };
+        // The typed outcome closes this query's flight-recorder
+        // timeline; any failure auto-dumps the full timeline so the
+        // evidence survives even if nobody is watching.
+        match &results {
+            Ok(_) => recorder::record(EventKind::Finished, result_code::OK, 0, 0, 0),
+            Err(e) => {
+                let (code, b, c) = e.recorder_code();
+                recorder::record(EventKind::Finished, code, b, c, 0);
+                recorder::dump_on_error(scope.id(), "client.query failed");
+            }
+        }
         tiptoe_obs::export::export_query_artifacts();
         results
     }

@@ -23,13 +23,15 @@
 //! ([`crate::instance::TiptoeInstance::serving_plane`]) and dropped
 //! before any mutable corpus update.
 
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use tiptoe_lwe::LweCiphertext;
 use tiptoe_net::{
     AdmissionController, AdmissionPermit, AdmissionPolicy, BreakerBank, BreakerPolicy,
-    CoalescePolicy, Coalescer, DeadlineBudget, ServeError,
+    BreakerState, CoalescePolicy, Coalescer, DeadlineBudget, LaneStatus, ServeError,
 };
 use tiptoe_underhood::{ExpandedSecret, QueryToken};
 
@@ -56,6 +58,9 @@ pub struct ServingPlane<'a> {
     token_lane: Coalescer<'a, Arc<ExpandedSecret>, TokenBundle>,
     admission: Option<AdmissionController>,
     breakers: Option<BreakerBank>,
+    /// The plane-wide in-flight gauge shared by every lane (the solo
+    /// fast path's cohort signal), kept here for introspection.
+    cohort: Arc<AtomicUsize>,
 }
 
 impl<'a> ServingPlane<'a> {
@@ -139,14 +144,14 @@ impl<'a> ServingPlane<'a> {
                 .map(|(rank_parts, url)| TokenBundle { rank_parts, url })
                 .collect()
         })
-        .with_cohort(cohort);
+        .with_cohort(cohort.clone());
         let admission = admission.enabled.then(|| {
             let flush = tiptoe_obs::metrics().histogram("net.coalesce.flush_us");
             let capacity = admission.capacity_from_flush_histogram(&flush, policy.max_batch);
             AdmissionController::new(admission, capacity)
         });
         let breakers = breaker.enabled.then(|| BreakerBank::new(breaker, ranking.num_shards() + 1));
-        Self { rank_lanes, url_lane, token_lane, admission, breakers }
+        Self { rank_lanes, url_lane, token_lane, admission, breakers, cohort }
     }
 
     /// Number of ranking lanes (one per shard).
@@ -264,6 +269,277 @@ impl<'a> ServingPlane<'a> {
     ) -> Result<Vec<u32>, ServeError> {
         self.url_lane.submit_within(ct, deadline)
     }
+
+    /// A live introspection snapshot of the whole plane: per-lane
+    /// occupancy, the plane-wide cohort gauge, breaker states,
+    /// admission counters, key latency quantiles, and SLO burn rates.
+    /// Values are instantaneous and unsynchronized — this is an
+    /// operator's view, not a transcript.
+    pub fn status(&self) -> PlaneStatus {
+        let mut lanes: Vec<(String, LaneStatus)> = self
+            .rank_lanes
+            .iter()
+            .enumerate()
+            .map(|(w, l)| (format!("rank[{w}]"), l.lane_status()))
+            .collect();
+        lanes.push(("url".to_string(), self.url_lane.lane_status()));
+        lanes.push(("token".to_string(), self.token_lane.lane_status()));
+        let admission = self.admission.as_ref().map(|c| AdmissionStatus {
+            capacity: c.capacity(),
+            queue_depth: c.policy().queue_depth,
+            inflight: c.inflight(),
+            admitted: c.admitted(),
+            sheds: c.sheds(),
+        });
+        let breakers = self
+            .breakers
+            .as_ref()
+            .map(|b| (0..b.len()).map(|w| b.state(w)).collect())
+            .unwrap_or_default();
+        let registry = tiptoe_obs::metrics();
+        let histograms = PlaneStatus::WATCHED_HISTOGRAMS
+            .iter()
+            .map(|&name| {
+                let h = registry.histogram(name);
+                HistogramStatus {
+                    name,
+                    count: h.count(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                    max: h.max(),
+                }
+            })
+            .collect();
+        let s = tiptoe_obs::slo::slo();
+        let slo = SloStatus {
+            shed_short: s.shed.rate_over(tiptoe_obs::slo::SHORT_WINDOW),
+            shed_long: s.shed.rate_over(tiptoe_obs::slo::LONG_WINDOW),
+            shed_total: s.shed.total(),
+            miss_short: s.deadline_miss.rate_over(tiptoe_obs::slo::SHORT_WINDOW),
+            miss_long: s.deadline_miss.rate_over(tiptoe_obs::slo::LONG_WINDOW),
+            miss_total: s.deadline_miss.total(),
+        };
+        PlaneStatus {
+            lanes,
+            cohort: self.cohort.load(Ordering::SeqCst),
+            admission,
+            breakers,
+            histograms,
+            slo,
+        }
+    }
+}
+
+/// Admission-control counters in a [`PlaneStatus`] snapshot.
+#[derive(Debug, Clone)]
+pub struct AdmissionStatus {
+    /// Derived concurrent-query capacity.
+    pub capacity: usize,
+    /// Extra arrivals tolerated past capacity before shedding.
+    pub queue_depth: usize,
+    /// Queries currently admitted and unfinished.
+    pub inflight: usize,
+    /// All-time admitted total.
+    pub admitted: u64,
+    /// All-time shed total.
+    pub sheds: u64,
+}
+
+/// One watched latency histogram's quantiles in a [`PlaneStatus`]
+/// snapshot (quantiles are bucket upper edges; `max` is exact).
+#[derive(Debug, Clone)]
+pub struct HistogramStatus {
+    /// Registry name.
+    pub name: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// SLO burn rates in a [`PlaneStatus`] snapshot: events per second
+/// over the short (page-worthy) and long (ticket-worthy) windows.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// Shed rate over the short window (events/s).
+    pub shed_short: f64,
+    /// Shed rate over the long window (events/s).
+    pub shed_long: f64,
+    /// All-time sheds seen by the SLO counter.
+    pub shed_total: u64,
+    /// Deadline-miss rate over the short window (events/s).
+    pub miss_short: f64,
+    /// Deadline-miss rate over the long window (events/s).
+    pub miss_long: f64,
+    /// All-time deadline misses seen by the SLO counter.
+    pub miss_total: u64,
+}
+
+/// A point-in-time introspection snapshot of a [`ServingPlane`]
+/// (see [`ServingPlane::status`]); renders as JSON for exporters and
+/// as a text panel for `tiptoe top`.
+#[derive(Debug, Clone)]
+pub struct PlaneStatus {
+    /// Per-lane occupancy, labeled `rank[w]` / `url` / `token`.
+    pub lanes: Vec<(String, LaneStatus)>,
+    /// Plane-wide in-flight submitter count (the solo-path signal).
+    pub cohort: usize,
+    /// Admission counters, when admission control is enabled.
+    pub admission: Option<AdmissionStatus>,
+    /// Per-shard breaker states (ranking shards then the URL server),
+    /// empty when breakers are disabled.
+    pub breakers: Vec<BreakerState>,
+    /// Quantiles of the watched latency histograms.
+    pub histograms: Vec<HistogramStatus>,
+    /// SLO burn rates.
+    pub slo: SloStatus,
+}
+
+impl PlaneStatus {
+    /// Histograms surfaced in every snapshot: batch formation, scan
+    /// latency, queue wait, the adaptive wait the reactors arm, and
+    /// per-shard response wall time under the fault plane.
+    pub const WATCHED_HISTOGRAMS: [&'static str; 5] = [
+        "net.coalesce.batch_size",
+        "net.coalesce.flush_us",
+        "net.coalesce.queue_wait_us",
+        "net.coalesce.adaptive_wait_us",
+        "net.shard_response_us",
+    ];
+
+    /// The snapshot as a self-contained JSON object (stable field
+    /// names; numbers only — safe for any exporter).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"lanes\":[");
+        for (i, (name, l)) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"id\":{},\"queued\":{},\"inflight\":{},\
+                 \"effective_wait_us\":{},\"max_wait_us\":{},\"max_batch\":{}}}",
+                l.id,
+                l.queued,
+                l.inflight,
+                l.effective_wait.as_micros(),
+                l.max_wait.as_micros(),
+                l.max_batch
+            );
+        }
+        let _ = write!(out, "],\"cohort\":{}", self.cohort);
+        match &self.admission {
+            Some(a) => {
+                let _ = write!(
+                    out,
+                    ",\"admission\":{{\"capacity\":{},\"queue_depth\":{},\"inflight\":{},\
+                     \"admitted\":{},\"sheds\":{}}}",
+                    a.capacity, a.queue_depth, a.inflight, a.admitted, a.sheds
+                );
+            }
+            None => out.push_str(",\"admission\":null"),
+        }
+        out.push_str(",\"breakers\":[");
+        for (i, b) in self.breakers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", b.as_str());
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                h.name, h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+        let s = &self.slo;
+        let _ = write!(
+            out,
+            "],\"slo\":{{\"shed_short\":{:.6},\"shed_long\":{:.6},\"shed_total\":{},\
+             \"miss_short\":{:.6},\"miss_long\":{:.6},\"miss_total\":{}}}}}",
+            s.shed_short, s.shed_long, s.shed_total, s.miss_short, s.miss_long, s.miss_total
+        );
+        out
+    }
+
+    /// The snapshot as a fixed-width text panel (the `tiptoe top`
+    /// view).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "serving plane — cohort {} in flight", self.cohort);
+        match &self.admission {
+            Some(a) => {
+                let _ = writeln!(
+                    out,
+                    "admission   {}/{} inflight (queue {})  admitted {}  shed {}",
+                    a.inflight, a.capacity, a.queue_depth, a.admitted, a.sheds
+                );
+            }
+            None => {
+                let _ = writeln!(out, "admission   disabled");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "slo burn    shed {:.2}/s (10s) {:.2}/s (60s) total {}   miss {:.2}/s (10s) {:.2}/s (60s) total {}",
+            self.slo.shed_short,
+            self.slo.shed_long,
+            self.slo.shed_total,
+            self.slo.miss_short,
+            self.slo.miss_long,
+            self.slo.miss_total
+        );
+        if !self.breakers.is_empty() {
+            let _ = write!(out, "breakers   ");
+            for (w, b) in self.breakers.iter().enumerate() {
+                let _ = write!(out, " {w}:{}", b.as_str());
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:>6} {:>8} {:>12} {:>10} {:>9}",
+            "lane", "id", "queued", "inflight", "eff_wait_us", "max_wait", "max_batch"
+        );
+        for (name, l) in &self.lanes {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>4} {:>6} {:>8} {:>12} {:>10} {:>9}",
+                name,
+                l.id,
+                l.queued,
+                l.inflight,
+                l.effective_wait.as_micros(),
+                l.max_wait.as_micros(),
+                l.max_batch
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "histogram", "count", "p50", "p95", "p99", "max"
+        );
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                h.name, h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +576,43 @@ mod tests {
             assert_eq!(got.encode(), want.encode(), "coalesced rank token differs");
         }
         assert_eq!(bundle.url.encode(), direct_url.encode(), "coalesced URL token differs");
+    }
+
+    #[test]
+    fn status_snapshot_reflects_plane_shape() {
+        let corpus = generate(&CorpusConfig::small(150, 74), 0);
+        let config = TiptoeConfig::test_small(150, 74);
+        let embedder = TextEmbedder::new(config.d_embed, 74, 0);
+        let instance = TiptoeInstance::build(&config, embedder, &corpus);
+        let plane = instance.serving_plane();
+
+        let status = plane.status();
+        // One lane per ranking shard plus the URL and token lanes.
+        assert_eq!(status.lanes.len(), plane.num_rank_lanes() + 2);
+        assert_eq!(status.lanes[plane.num_rank_lanes()].0, "url");
+        assert_eq!(status.lanes[plane.num_rank_lanes() + 1].0, "token");
+        // An idle plane has nothing queued or in flight.
+        assert_eq!(status.cohort, 0);
+        for (name, lane) in &status.lanes {
+            assert_eq!(lane.queued, 0, "lane {name} queued");
+            assert_eq!(lane.inflight, 0, "lane {name} inflight");
+            assert!(lane.max_batch >= 1);
+        }
+        assert_eq!(
+            status.histograms.len(),
+            crate::serving::PlaneStatus::WATCHED_HISTOGRAMS.len()
+        );
+
+        // Both renderings are self-contained and name every lane.
+        let json = status.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "json: {json}");
+        for key in ["\"lanes\"", "\"cohort\"", "\"admission\"", "\"breakers\"", "\"slo\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = status.render();
+        assert!(text.contains("serving plane"));
+        assert!(text.contains("url"), "render lists the url lane:\n{text}");
+        assert!(text.contains("net.coalesce.flush_us"), "render lists histograms:\n{text}");
     }
 
     #[test]

@@ -181,6 +181,19 @@ impl FlushReason {
             FlushReason::Fallback => "fallback",
         }
     }
+
+    /// Flight-recorder code (the `flush_reason` vocabulary in
+    /// `tiptoe_obs::recorder`).
+    fn code(self) -> u64 {
+        use tiptoe_obs::recorder::flush_reason as fr;
+        match self {
+            FlushReason::Full => fr::FULL,
+            FlushReason::Deadline => fr::DEADLINE,
+            FlushReason::Overflow => fr::OVERFLOW,
+            FlushReason::Solo => fr::SOLO,
+            FlushReason::Fallback => fr::FALLBACK,
+        }
+    }
 }
 
 /// Marker delivered to every member of a flush whose kernel panicked.
@@ -198,25 +211,40 @@ enum LaneMsg<Req, Resp> {
     Lead(Vec<Pending<Req, Resp>>),
 }
 
+/// A flushed batch member's reply channel plus its recorder query id,
+/// kept after the request itself is moved into the kernel.
+type Member<Req, Resp> = (mpsc::Sender<LaneMsg<Req, Resp>>, u64);
+
 /// One queued request: its payload, the channel its response returns
-/// on, a withdrawal ticket, and when it arrived (for queue-wait
-/// accounting).
+/// on, a withdrawal ticket, when it arrived (for queue-wait
+/// accounting), and the submitter's trace context — captured at
+/// enqueue so a flush that runs on *another* thread (reactor-armed
+/// `Lead` delegation, a co-submitter's full/overflow drain) can still
+/// attach its span to the originating queries instead of orphaning
+/// under the flushing thread's unrelated stack.
 struct Pending<Req, Resp> {
     ticket: u64,
     req: Req,
     reply: mpsc::Sender<LaneMsg<Req, Resp>>,
     enqueued: Instant,
+    ctx: tiptoe_obs::TraceCtx,
 }
 
 /// The `'static` core of one lane: the queue the reactor must reach
 /// without borrowing the (non-`'static`) kernel closure.
 struct LaneState<Req, Resp> {
+    /// Process-unique lane id (flight-recorder + introspection key).
+    id: u64,
     policy: CoalescePolicy,
     inner: Mutex<LaneInner<Req, Resp>>,
     /// Submitters currently inside `submit_*` on this lane (the solo
     /// fast path fires only when this is exactly 1).
     inflight: AtomicUsize,
 }
+
+/// Lane-id allocator (process-wide, so recorder timelines from
+/// different planes never collide).
+static NEXT_LANE_ID: AtomicU64 = AtomicU64::new(0);
 
 struct LaneInner<Req, Resp> {
     queue: VecDeque<Pending<Req, Resp>>,
@@ -265,8 +293,23 @@ impl<Req: Send + 'static, Resp: Send + 'static> LaneState<Req, Resp> {
 
     /// The deadline the reactor should arm for a forming batch: the
     /// policy ceiling, shortened adaptively once the lane's
-    /// observability histograms have warmed up.
+    /// observability histograms have warmed up. Records the chosen
+    /// wait in `net.coalesce.adaptive_wait_us`; introspection reads
+    /// use [`LaneState::effective_wait_estimate`] to avoid skewing
+    /// that histogram.
     fn effective_max_wait(&self) -> Duration {
+        let wait = self.effective_wait_estimate();
+        if self.policy.adaptive && wait != self.policy.max_wait {
+            tiptoe_obs::metrics()
+                .histogram("net.coalesce.adaptive_wait_us")
+                .record(wait.as_micros() as u64);
+        }
+        wait
+    }
+
+    /// Side-effect-free computation behind
+    /// [`LaneState::effective_max_wait`].
+    fn effective_wait_estimate(&self) -> Duration {
         if !self.policy.adaptive {
             return self.policy.max_wait;
         }
@@ -289,9 +332,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> LaneState<Req, Resp> {
         let flush = m.histogram("net.coalesce.flush_us");
         let floor_us = if flush.count() >= 8 { flush.quantile(0.5) } else { 0 };
         let derived = Duration::from_micros(fill_us.max(floor_us).max(1));
-        let wait = derived.min(self.policy.max_wait);
-        m.histogram("net.coalesce.adaptive_wait_us").record(wait.as_micros() as u64);
-        wait
+        derived.min(self.policy.max_wait)
     }
 }
 
@@ -327,6 +368,25 @@ impl<Req: Send + 'static, Resp: Send + 'static> reactor::DeadlineTarget for Lane
     }
 }
 
+/// Instantaneous occupancy of one coalescer lane (see
+/// [`Coalescer::lane_status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStatus {
+    /// Process-unique lane id.
+    pub id: u64,
+    /// Requests queued in the forming batch right now.
+    pub queued: usize,
+    /// Submitters inside `submit_*` on this lane right now.
+    pub inflight: usize,
+    /// The deadline the reactor would arm for a batch forming now
+    /// (equals `max_wait` unless adaptation has warmed up).
+    pub effective_wait: Duration,
+    /// The policy's wait ceiling.
+    pub max_wait: Duration,
+    /// The policy's batch size.
+    pub max_batch: usize,
+}
+
 /// A batching scheduler in front of a batched kernel: concurrent
 /// [`Coalescer::submit`] calls are grouped and answered by one
 /// `flush` invocation per batch.
@@ -357,6 +417,7 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
         policy.validate().expect("invalid coalescer policy");
         Self {
             lane: Arc::new(LaneState {
+                id: NEXT_LANE_ID.fetch_add(1, Ordering::Relaxed),
                 policy,
                 inner: Mutex::new(LaneInner {
                     queue: VecDeque::new(),
@@ -390,6 +451,25 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
     /// The policy this coalescer runs under.
     pub fn policy(&self) -> CoalescePolicy {
         self.lane.policy
+    }
+
+    /// Process-unique id of this coalescer's lane (the key recorder
+    /// timelines and introspection snapshots report lanes under).
+    pub fn lane_id(&self) -> u64 {
+        self.lane.id
+    }
+
+    /// Live occupancy snapshot of this lane (for `ServingPlane`
+    /// introspection; values are instantaneous and unsynchronized).
+    pub fn lane_status(&self) -> LaneStatus {
+        LaneStatus {
+            id: self.lane.id,
+            queued: self.lane.inner.lock().expect("coalescer queue lock").queue.len(),
+            inflight: self.lane.inflight.load(Ordering::SeqCst),
+            effective_wait: self.lane.effective_wait_estimate(),
+            max_wait: self.lane.policy.max_wait,
+            max_batch: self.lane.policy.max_batch,
+        }
     }
 
     /// Submits one request and blocks until its response arrives —
@@ -485,11 +565,24 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
                     .record(now.duration_since(prev).as_micros() as u64);
             }
             inner.last_arrival = Some(now);
-            inner.queue.push_back(Pending { ticket, req, reply: tx, enqueued: now });
+            inner.queue.push_back(Pending {
+                ticket,
+                req,
+                reply: tx,
+                enqueued: now,
+                ctx: tiptoe_obs::TraceCtx::current(),
+            });
             let len = inner.queue.len();
             let arm = if len == 1 { Some(inner.generation) } else { None };
             (len, arm)
         };
+        tiptoe_obs::recorder::record(
+            tiptoe_obs::recorder::EventKind::LaneEnqueued,
+            self.lane.id,
+            len_after as u64,
+            0,
+            0,
+        );
         if len_after >= self.lane.policy.max_batch {
             self.flush_now(FlushReason::Full);
         } else if len_after == 1 {
@@ -534,6 +627,13 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
                     };
                     if withdrawn {
                         m.counter("net.coalesce.abandoned").inc();
+                        tiptoe_obs::recorder::record(
+                            tiptoe_obs::recorder::EventKind::LaneWithdrawn,
+                            self.lane.id,
+                            waited.as_micros() as u64,
+                            0,
+                            0,
+                        );
                         return Err(ServeError::DeadlineExceeded { budget: d, spent: waited });
                     }
                     // Already drained into an in-flight flush (or
@@ -613,10 +713,20 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
     /// exactly once, and the crashed batch's requests only re-enter
     /// it through their own submitters).
     fn run_batch(&self, batch: Vec<Pending<Req, Resp>>, reason: FlushReason) {
+        use tiptoe_obs::recorder::{self, EventKind};
         if batch.is_empty() {
             return;
         }
-        let mut span = tiptoe_obs::span("net.coalesce.flush");
+        // The flush serves *the batch's* queries, not whatever the
+        // flushing thread happens to be doing: parent the span
+        // explicitly under the first member's submission span (under
+        // `Lead` delegation or a co-submitter's drain, the implicit
+        // thread-local parent would be a different query — or, on the
+        // reactor's behalf, nothing at all — leaving the flush span
+        // orphaned). Every other member is attached with a
+        // follow-from link, so each batched query's trace reaches
+        // this span.
+        let mut span = tiptoe_obs::span_under("net.coalesce.flush", batch[0].ctx.span_id);
         let m = tiptoe_obs::metrics();
         let queue_wait_us =
             batch.iter().map(|p| p.enqueued.elapsed().as_micros() as u64).max().unwrap_or(0);
@@ -625,12 +735,25 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
         }
         span.attr_u64("batch", batch.len() as u64);
         span.attr_u64("queue_wait_us", queue_wait_us);
+        for p in &batch {
+            if let Some(s) = p.ctx.span_id {
+                span.follow_from(s);
+            }
+            recorder::record_for(
+                p.ctx.trace_id,
+                EventKind::LaneFlushed,
+                self.lane.id,
+                batch.len() as u64,
+                reason.code(),
+                p.enqueued.elapsed().as_micros() as u64,
+            );
+        }
         m.histogram("net.coalesce.batch_size").record(batch.len() as u64);
         m.histogram("net.coalesce.queue_wait_us").record(queue_wait_us);
         m.counter_with("net.coalesce.flushes", Some(reason.as_str().into())).inc();
 
-        let (reqs, replies): (Vec<Req>, Vec<mpsc::Sender<LaneMsg<Req, Resp>>>) =
-            batch.into_iter().map(|p| (p.req, p.reply)).unzip();
+        let (reqs, members): (Vec<Req>, Vec<Member<Req, Resp>>) =
+            batch.into_iter().map(|p| (p.req, (p.reply, p.ctx.trace_id))).unzip();
         let n = reqs.len();
         let kernel_start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -642,7 +765,7 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
             Ok(resps) => {
                 m.histogram("net.coalesce.flush_us")
                     .record(kernel_start.elapsed().as_micros() as u64);
-                for (reply, resp) in replies.iter().zip(resps) {
+                for ((reply, _), resp) in members.iter().zip(resps) {
                     // A receiver can only be gone if its submitter
                     // withdrew or panicked; the rest of the batch
                     // must still be delivered.
@@ -650,9 +773,21 @@ impl<'a, Req: Send + 'static, Resp: Send + 'static> Coalescer<'a, Req, Resp> {
                 }
             }
             Err(_) => {
-                m.counter("net.coalesce.lane_crashes").inc();
+                let crashes = {
+                    let c = m.counter("net.coalesce.lane_crashes");
+                    c.inc();
+                    c.get()
+                };
                 span.attr_u64("crashed", 1);
-                for reply in &replies {
+                for (reply, query) in &members {
+                    recorder::record_for(
+                        *query,
+                        EventKind::LaneCrashed,
+                        self.lane.id,
+                        crashes,
+                        0,
+                        0,
+                    );
                     let _ = reply.send(LaneMsg::Done(Err(LaneCrashed)));
                 }
             }

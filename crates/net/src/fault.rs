@@ -47,21 +47,37 @@ pub const MAX_ENVELOPE_PAYLOAD: usize = 1 << 30;
 /// Bytes added by [`seal`]: magic, length, checksum.
 pub const ENVELOPE_OVERHEAD: usize = 16;
 
+/// Bytes added by [`seal_traced`]: magic, length, trace id, checksum.
+pub const TRACED_ENVELOPE_OVERHEAD: usize = 24;
+
 const ENVELOPE_MAGIC: u32 = 0x5450_5431; // "TPT1"
+const TRACED_ENVELOPE_MAGIC: u32 = 0x5450_5432; // "TPT2"
 
 /// Attempt-number namespace bit for hedged backup requests, so a
 /// hedge draws its own deterministic fault decision.
 const HEDGE_FLAG: u32 = 1 << 16;
 
-/// FNV-1a 64-bit checksum (cheap, deterministic, and plenty to detect
-/// the random corruption this harness injects; not cryptographic).
-pub fn checksum(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a 64-bit checksum (cheap, deterministic, and plenty to detect
+/// the random corruption this harness injects; not cryptographic).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// Checksum of a traced envelope: covers the trace id *and* the
+/// payload, so a flipped header bit is detected exactly like a
+/// flipped payload bit.
+fn traced_checksum(trace_id: u64, payload: &[u8]) -> u64 {
+    fnv1a(fnv1a(FNV_OFFSET, &trace_id.to_le_bytes()), payload)
 }
 
 /// Wraps a shard response payload in the checksummed wire envelope.
@@ -104,6 +120,55 @@ pub fn open(bytes: &[u8]) -> Result<&[u8], WireError> {
         return Err(WireError::Invalid("envelope checksum mismatch"));
     }
     Ok(payload)
+}
+
+/// Wraps a shard response in the TPT2 envelope, which additionally
+/// carries the originating query's trace id — metadata, not content:
+/// the id is a process-local sequence number minted at `client.query`,
+/// independent of what is being searched. The fixed 24-byte overhead
+/// is identical for every query, so the wire footprint stays
+/// outcome-independent (the Tiptoe privacy argument is untouched).
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_ENVELOPE_PAYLOAD`].
+pub fn seal_traced(payload: &[u8], trace_id: u64) -> Vec<u8> {
+    assert!(payload.len() <= MAX_ENVELOPE_PAYLOAD, "envelope payload too large");
+    let mut w = WireWriter::with_capacity(payload.len() + TRACED_ENVELOPE_OVERHEAD);
+    w.put_u32(TRACED_ENVELOPE_MAGIC);
+    w.put_u32(payload.len() as u32);
+    w.put_u64(trace_id);
+    w.put_u64(traced_checksum(trace_id, payload));
+    w.put_bytes(payload);
+    w.finish()
+}
+
+/// Verifies and unwraps a [`seal_traced`] envelope, returning the
+/// carried trace id alongside the payload.
+///
+/// # Errors
+///
+/// Fails on the same corruption modes as [`open`]; the checksum
+/// covers the trace id, so header flips are caught too.
+pub fn open_traced(bytes: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_u32()? != TRACED_ENVELOPE_MAGIC {
+        return Err(WireError::Invalid("bad traced-envelope magic"));
+    }
+    let len = r.get_u32()? as usize;
+    if len > MAX_ENVELOPE_PAYLOAD {
+        return Err(WireError::Invalid("envelope payload too large"));
+    }
+    let trace_id = r.get_u64()?;
+    let sum = r.get_u64()?;
+    let payload = r.get_bytes(len)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Invalid("trailing bytes after envelope"));
+    }
+    if traced_checksum(trace_id, payload) != sum {
+        return Err(WireError::Invalid("envelope checksum mismatch"));
+    }
+    Ok((trace_id, payload))
 }
 
 /// One injected fault.
@@ -551,15 +616,24 @@ pub fn dispatch_faulty_gated<T, R>(
     let mut wall_max = Duration::ZERO;
 
     for (idx, shard) in shards.iter().enumerate() {
+        let gate = gates.map_or(ShardGate::Serve, |g| g[idx]);
         let mut span = tiptoe_obs::span("net.shard");
         if tiptoe_obs::enabled() {
             span.set_label(format!("{}", shard_base + idx));
         }
-        if gates.map_or(ShardGate::Serve, |g| g[idx]) == ShardGate::Skip {
+        if gate == ShardGate::Skip {
             span.attr_u64("attempts", 0);
             span.attr_u64("skipped", 1);
             span.attr_u64("ok", 0);
             drop(span);
+            tiptoe_obs::recorder::record(
+                tiptoe_obs::recorder::EventKind::ShardSkipped,
+                (shard_base + idx) as u64,
+                // Skip gates only come from open breakers.
+                tiptoe_obs::recorder::breaker_state::OPEN,
+                0,
+                0,
+            );
             report.shards.push(ShardReport {
                 ok: false,
                 attempts: 0,
@@ -671,6 +745,13 @@ pub fn dispatch_faulty_gated<T, R>(
         span.attr_u64("ok", ok as u64);
         span.set_virtual(shard_wall);
         drop(span);
+        tiptoe_obs::recorder::record(
+            tiptoe_obs::recorder::EventKind::ShardOutcome,
+            (shard_base + idx) as u64,
+            u64::from(ok) | (u64::from(hedged) << 1) | (u64::from(gate == ShardGate::Probe) << 2),
+            attempts as u64,
+            shard_wall.as_micros() as u64,
+        );
         report.shards.push(ShardReport { ok, attempts, hedged, wall: shard_wall });
         results.push(value);
         cpu_total += shard_cpu;
@@ -716,10 +797,16 @@ fn run_attempt<T, R>(
     parse: &mut impl FnMut(usize, &[u8]) -> Result<R, WireError>,
 ) -> Result<(Delivery<R>, Duration), ServeError> {
     let plan_shard = shard_base + idx;
+    // `run_attempt` executes on the query's own dispatching thread,
+    // so the thread-local query id *is* the originating query: the
+    // TPT2 envelope carries it to (and back from) the shard, which is
+    // how per-shard work stays attributable after the response hops
+    // threads.
+    let trace_id = tiptoe_obs::current_query();
     let deliver = |payload: Vec<u8>, at: Duration, parse: ParseFn<'_, R>| {
-        let sealed = seal(&payload);
+        let sealed = seal_traced(&payload, trace_id);
         let bytes = sealed.len() as u64;
-        match open(&sealed).and_then(|p| parse(idx, p)) {
+        match open_traced(&sealed).and_then(|(_, p)| parse(idx, p)) {
             Ok(value) => Delivery::Ok { value, at },
             Err(_) => Delivery::Bad { at, bytes },
         }
@@ -738,10 +825,10 @@ fn run_attempt<T, R>(
         }
         Some(FaultKind::Corrupt) => {
             let (payload, t) = timed(|| serve(idx, shard));
-            let mut sealed = seal(&payload?);
-            corrupt_in_place(&mut sealed, plan.seed(), plan_shard, attempt_no);
+            let mut sealed = seal_traced(&payload?, trace_id);
+            corrupt_in_place(&mut sealed, TRACED_ENVELOPE_OVERHEAD, plan.seed(), plan_shard, attempt_no);
             let bytes = sealed.len() as u64;
-            let outcome = match open(&sealed).and_then(|p| parse(idx, p)) {
+            let outcome = match open_traced(&sealed).and_then(|(_, p)| parse(idx, p)) {
                 Ok(value) => Delivery::Ok { value, at: t },
                 Err(_) => Delivery::Bad { at: t, bytes },
             };
@@ -749,10 +836,10 @@ fn run_attempt<T, R>(
         }
         Some(FaultKind::Truncate) => {
             let (payload, t) = timed(|| serve(idx, shard));
-            let sealed = seal(&payload?);
+            let sealed = seal_traced(&payload?, trace_id);
             let cut = &sealed[..sealed.len() / 2];
             let bytes = cut.len() as u64;
-            let outcome = match open(cut).and_then(|p| parse(idx, p)) {
+            let outcome = match open_traced(cut).and_then(|(_, p)| parse(idx, p)) {
                 Ok(value) => Delivery::Ok { value, at: t },
                 Err(_) => Delivery::Bad { at: t, bytes },
             };
@@ -772,11 +859,13 @@ fn run_attempt<T, R>(
 
 /// Deterministically flips one payload byte of a sealed response (the
 /// envelope checksum is guaranteed to catch a single-byte change).
-fn corrupt_in_place(sealed: &mut [u8], seed: u64, shard: usize, attempt: u32) {
+/// `overhead` is the sealing format's header size
+/// ([`ENVELOPE_OVERHEAD`] or [`TRACED_ENVELOPE_OVERHEAD`]).
+fn corrupt_in_place(sealed: &mut [u8], overhead: usize, seed: u64, shard: usize, attempt: u32) {
     let draw = unit_draw(seed ^ 0xc0de, shard as u64, attempt as u64);
-    if sealed.len() > ENVELOPE_OVERHEAD {
-        let span = sealed.len() - ENVELOPE_OVERHEAD;
-        let pos = ENVELOPE_OVERHEAD + ((draw * span as f64) as usize).min(span - 1);
+    if sealed.len() > overhead {
+        let span = sealed.len() - overhead;
+        let pos = overhead + ((draw * span as f64) as usize).min(span - 1);
         sealed[pos] ^= 0xa5;
     } else if let Some(b) = sealed.last_mut() {
         *b ^= 0xa5;
@@ -826,6 +915,34 @@ mod tests {
         w.put_u32(u32::MAX);
         w.put_u64(0);
         assert!(open(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_covers_the_trace_id() {
+        let payload = b"ranking shard answer".to_vec();
+        let trace_id = 0xfeed_beef_u64;
+        let sealed = seal_traced(&payload, trace_id);
+        assert_eq!(sealed.len(), payload.len() + TRACED_ENVELOPE_OVERHEAD);
+        let (id, opened) = open_traced(&sealed).expect("opens");
+        assert_eq!(id, trace_id);
+        assert_eq!(opened, &payload[..]);
+        // Any single-byte flip — header (incl. trace id) or payload —
+        // is detected.
+        for pos in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[pos] ^= 0x01;
+            assert!(open_traced(&bad).is_err(), "flip at {pos} not detected");
+        }
+        // Truncation at every length is detected.
+        for cut in 0..sealed.len() {
+            assert!(open_traced(&sealed[..cut]).is_err(), "cut at {cut} not detected");
+        }
+        // The two formats never cross-open.
+        assert!(open(&sealed).is_err(), "TPT1 opener must reject TPT2");
+        assert!(open_traced(&seal(&payload)).is_err(), "TPT2 opener must reject TPT1");
+        // Query id 0 (outside any scope) round-trips too.
+        let (id0, _) = open_traced(&seal_traced(&payload, 0)).expect("opens");
+        assert_eq!(id0, 0);
     }
 
     #[test]

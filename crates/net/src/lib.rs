@@ -26,10 +26,13 @@ pub mod overload;
 pub mod pool;
 pub mod service;
 
-pub use coalesce::{chaos_inject_reactor_panic, CoalescePolicy, Coalescer, MAX_LANE_RETRIES};
+pub use coalesce::{
+    chaos_inject_reactor_panic, CoalescePolicy, Coalescer, LaneStatus, MAX_LANE_RETRIES,
+};
 pub use fault::{
-    dispatch_faulty, dispatch_faulty_gated, open, seal, shard_response_histogram, FaultKind,
-    FaultPlan, FaultPolicy, FaultRates, FaultReport, ShardReport,
+    dispatch_faulty, dispatch_faulty_gated, open, open_traced, seal, seal_traced,
+    shard_response_histogram, FaultKind, FaultPlan, FaultPolicy, FaultRates, FaultReport,
+    ShardReport, TRACED_ENVELOPE_OVERHEAD,
 };
 pub use overload::{
     AdmissionController, AdmissionPermit, AdmissionPolicy, BreakerBank, BreakerPolicy,

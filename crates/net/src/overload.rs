@@ -100,6 +100,25 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl ServeError {
+    /// Flight-recorder result code plus detail words for a
+    /// [`tiptoe_obs::recorder::EventKind::Finished`] event: numeric
+    /// occupancy/budget facts only — never query content.
+    pub fn recorder_code(&self) -> (u64, u64, u64) {
+        use tiptoe_obs::recorder::result_code as rc;
+        match *self {
+            ServeError::Overloaded { inflight, capacity } => {
+                (rc::OVERLOADED, inflight as u64, capacity as u64)
+            }
+            ServeError::DeadlineExceeded { budget, spent } => {
+                (rc::DEADLINE_EXCEEDED, budget.as_micros() as u64, spent.as_micros() as u64)
+            }
+            ServeError::LaneFailed { crashes } => (rc::LANE_FAILED, u64::from(crashes), 0),
+            ServeError::InvalidPolicy(_) => (rc::INVALID_POLICY, 0, 0),
+        }
+    }
+}
+
 impl From<ConfigError> for ServeError {
     fn from(e: ConfigError) -> Self {
         ServeError::InvalidPolicy(e)
@@ -164,7 +183,20 @@ impl DeadlineBudget {
         let add = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let prev = self.spent_ns.fetch_add(add, Ordering::Relaxed);
         let spent = Duration::from_nanos(prev.saturating_add(add));
+        tiptoe_obs::recorder::record(
+            tiptoe_obs::recorder::EventKind::BudgetCharged,
+            elapsed.as_micros() as u64,
+            spent.as_micros() as u64,
+            self.total.as_micros() as u64,
+            0,
+        );
         if spent > self.total {
+            // The charge that *crosses* the budget is the miss; later
+            // checks against an already-overdrawn budget re-report the
+            // same failure and must not double-count the SLO.
+            if Duration::from_nanos(prev) <= self.total {
+                tiptoe_obs::slo::slo().deadline_miss.record();
+            }
             return Err(ServeError::DeadlineExceeded { budget: self.total, spent });
         }
         Ok(())
@@ -302,6 +334,14 @@ impl AdmissionController {
                 self.shed.fetch_add(1, Ordering::SeqCst);
                 self.shed_log.lock().expect("shed log lock").push(seq);
                 tiptoe_obs::metrics().counter("net.shed").inc();
+                tiptoe_obs::recorder::record(
+                    tiptoe_obs::recorder::EventKind::Shed,
+                    cur as u64,
+                    self.capacity as u64,
+                    0,
+                    0,
+                );
+                tiptoe_obs::slo::slo().shed.record();
                 return Err(ServeError::Overloaded { inflight: cur, capacity: self.capacity });
             }
             if self
@@ -311,6 +351,13 @@ impl AdmissionController {
             {
                 self.admitted.fetch_add(1, Ordering::SeqCst);
                 tiptoe_obs::metrics().counter("net.admitted").inc();
+                tiptoe_obs::recorder::record(
+                    tiptoe_obs::recorder::EventKind::Admitted,
+                    (cur + 1) as u64,
+                    self.capacity as u64,
+                    0,
+                    0,
+                );
                 return Ok(AdmissionPermit { ctrl: self });
             }
         }
@@ -422,6 +469,28 @@ pub enum BreakerState {
     Open,
     /// Probing: traffic flows, watched for recovery.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Flight-recorder code (the `breaker_state` vocabulary in
+    /// `tiptoe_obs::recorder`).
+    pub fn recorder_code(self) -> u64 {
+        use tiptoe_obs::recorder::breaker_state as bs;
+        match self {
+            BreakerState::Closed => bs::CLOSED,
+            BreakerState::Open => bs::OPEN,
+            BreakerState::HalfOpen => bs::HALF_OPEN,
+        }
+    }
+
+    /// Stable display name (introspection snapshots).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
 }
 
 /// Per-dispatch verdict for one shard.

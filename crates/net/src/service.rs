@@ -270,9 +270,18 @@ pub fn dispatch<S: Service>(
             if tiptoe_obs::enabled() {
                 span.set_label(format!("{idx}"));
             }
-            svc.serve(idx, req).map(|payload| {
+            let shard_start = std::time::Instant::now();
+            let part = svc.serve(idx, req).map(|payload| {
                 svc.parse(idx, &payload).expect("healthy shard payload must parse")
-            })
+            });
+            tiptoe_obs::recorder::record(
+                tiptoe_obs::recorder::EventKind::ShardOutcome,
+                (shard_base + idx) as u64,
+                u64::from(part.is_ok()),
+                1,
+                shard_start.elapsed().as_micros() as u64,
+            );
+            part
         });
         let parts = parts.into_iter().collect::<Result<Vec<_>, _>>()?;
         let survivors = vec![true; parts.len()];

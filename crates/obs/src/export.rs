@@ -40,6 +40,12 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
         if let Some(vu) = s.virtual_us {
             let sep = if first { "" } else { "," };
             let _ = write!(out, "{sep}\"virtual_us\":{vu}");
+            first = false;
+        }
+        if !s.follows.is_empty() {
+            let sep = if first { "" } else { "," };
+            let ids: Vec<String> = s.follows.iter().map(u64::to_string).collect();
+            let _ = write!(out, "{sep}\"follows\":[{}]", ids.join(","));
         }
         out.push_str("}}");
     }
@@ -92,17 +98,20 @@ fn sibling(path: &Path, ext: &str) -> std::path::PathBuf {
     path.with_file_name(format!("{stem}.{ext}"))
 }
 
-/// Writes the four artifacts for the given spans: the Chrome trace
+/// Writes the five artifacts for the given spans: the Chrome trace
 /// at `path`, the metrics snapshot at `<stem>.metrics.json` (and as
 /// OpenMetrics text at `<stem>.metrics.prom`, scrapeable by any
-/// Prometheus-compatible collector), and the folded stacks at
-/// `<stem>.folded`.
+/// Prometheus-compatible collector), the folded stacks at
+/// `<stem>.folded`, and the flight-recorder ring dump at
+/// `<stem>.recorder.json` (per-query event timelines — populated even
+/// for queries the span sampler traced out).
 pub fn write_artifacts(path: &Path, spans: &[SpanRecord]) -> std::io::Result<()> {
     let snapshot = metrics().snapshot();
     std::fs::write(path, chrome_trace_json(spans))?;
     std::fs::write(sibling(path, "metrics.json"), snapshot.to_json())?;
     std::fs::write(sibling(path, "metrics.prom"), snapshot.to_openmetrics())?;
     std::fs::write(sibling(path, "folded"), folded_stacks(spans))?;
+    std::fs::write(sibling(path, "recorder.json"), crate::recorder::ring_json())?;
     Ok(())
 }
 
@@ -137,6 +146,7 @@ mod tests {
                 virtual_us: None,
                 tid: 1,
                 attrs: vec![],
+                follows: vec![],
             },
             SpanRecord {
                 id: 2,
@@ -148,6 +158,7 @@ mod tests {
                 virtual_us: Some(250_000),
                 tid: 1,
                 attrs: vec![("rows", 512), ("cols", 64)],
+                follows: vec![1],
             },
         ]
     }
@@ -160,6 +171,7 @@ mod tests {
         assert!(json.contains("\"name\":\"rank.shard[0]\""), "{json}");
         assert!(json.contains("\"rows\":512"), "{json}");
         assert!(json.contains("\"virtual_us\":250000"), "{json}");
+        assert!(json.contains("\"follows\":[1]"), "{json}");
         assert!(json.contains("\"ph\":\"X\""), "{json}");
     }
 
@@ -172,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn write_artifacts_emits_four_files() {
+    fn write_artifacts_emits_five_files() {
         // Keep test artifacts inside the workspace's target directory.
         let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../../target")
@@ -185,6 +197,8 @@ mod tests {
         assert!(dir.join("trace.folded").exists());
         let prom = std::fs::read_to_string(dir.join("trace.metrics.prom")).expect("prom");
         assert!(prom.ends_with("# EOF\n"), "{prom}");
+        let rec = std::fs::read_to_string(dir.join("trace.recorder.json")).expect("recorder");
+        assert!(rec.contains("\"queries\""), "{rec}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

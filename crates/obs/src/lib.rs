@@ -30,12 +30,14 @@
 
 pub mod export;
 pub mod metrics;
+pub mod recorder;
+pub mod slo;
 
 pub use metrics::{
     metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -55,6 +57,14 @@ static QUERY_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// Whether the current query was sampled (true outside any query so
 /// ad-hoc spans still record when tracing is on).
 static SAMPLED: AtomicBool = AtomicBool::new(true);
+
+/// Monotonic query-id mint ([`query_scope`]); 0 means "no query".
+static NEXT_QUERY: AtomicU64 = AtomicU64::new(1);
+
+/// Queries currently inside a [`query_scope`] across all threads.
+/// Guards the per-query span-buffer clear: with concurrent clients,
+/// clearing on every boundary would erase in-flight neighbours.
+static ACTIVE_QUERIES: AtomicU64 = AtomicU64::new(0);
 
 /// One recorded span: a node of the per-query span tree.
 #[derive(Debug, Clone)]
@@ -78,6 +88,11 @@ pub struct SpanRecord {
     pub tid: u64,
     /// Numeric attributes (`rows`, `cols`, `bytes`, ...).
     pub attrs: Vec<(&'static str, u64)>,
+    /// Ids of spans this span *follows from*: causal, non-parental
+    /// links. A coalesced flush span follows from every batched
+    /// member's submission span, so each member's query tree reaches
+    /// the shared flush even though only one tree parents it.
+    pub follows: Vec<u64>,
 }
 
 impl SpanRecord {
@@ -114,6 +129,8 @@ thread_local! {
     static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     /// Small dense per-thread id, assigned on first span.
     static TID: RefCell<Option<u64>> = const { RefCell::new(None) };
+    /// The query id owning this thread (0 = outside any query scope).
+    static CURRENT_QUERY: Cell<u64> = const { Cell::new(0) };
 }
 
 fn thread_tid() -> u64 {
@@ -205,13 +222,70 @@ pub fn begin_query() {
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
+    roll_sample(true);
+}
+
+/// Rolls the 1-in-N sampling decision for one query. The span buffer
+/// is cleared only when the caller is the sole active query —
+/// concurrent clients share the buffer, and clearing it mid-cohort
+/// would erase their in-flight spans.
+fn roll_sample(sole_query: bool) {
     let every = SAMPLE_EVERY.load(Ordering::Relaxed).max(1);
     let i = QUERY_COUNTER.fetch_add(1, Ordering::Relaxed);
     let sampled = i.is_multiple_of(every);
     SAMPLED.store(sampled, Ordering::Relaxed);
-    if sampled {
+    if sampled && sole_query {
         clear_spans();
     }
+}
+
+/// The query id owning the calling thread (0 outside any
+/// [`query_scope`]). Query ids are minted even when tracing is
+/// disabled or the query is sampled out — the flight recorder
+/// ([`recorder`]) keys its always-on timelines by them.
+pub fn current_query() -> u64 {
+    CURRENT_QUERY.with(Cell::get)
+}
+
+/// RAII guard for one query boundary; see [`query_scope`].
+pub struct QueryScope {
+    fresh: bool,
+}
+
+impl QueryScope {
+    /// The query id in effect inside this scope.
+    pub fn id(&self) -> u64 {
+        current_query()
+    }
+}
+
+impl Drop for QueryScope {
+    fn drop(&mut self) {
+        if self.fresh {
+            CURRENT_QUERY.with(|q| q.set(0));
+            ACTIVE_QUERIES.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Enters a query boundary on this thread: mints a process-unique
+/// query id (the flight-recorder key and [`TraceCtx::trace_id`]) and,
+/// when tracing is enabled, rolls the span-sampling decision like
+/// [`begin_query`]. Unlike `begin_query`, the span buffer is cleared
+/// only when no other query is active, so concurrent clients'
+/// in-flight spans survive each other's boundaries and a post-cohort
+/// snapshot holds every query's tree. Nested calls on the same thread
+/// adopt the existing scope (the guard is then inert).
+pub fn query_scope() -> QueryScope {
+    if current_query() != 0 {
+        return QueryScope { fresh: false };
+    }
+    CURRENT_QUERY.with(|q| q.set(NEXT_QUERY.fetch_add(1, Ordering::Relaxed)));
+    let active = ACTIVE_QUERIES.fetch_add(1, Ordering::Relaxed) + 1;
+    if ENABLED.load(Ordering::Relaxed) {
+        roll_sample(active == 1);
+    }
+    QueryScope { fresh: true }
 }
 
 /// A copy of every span recorded since the last [`clear_spans`].
@@ -231,6 +305,45 @@ pub fn current_span() -> Option<SpanId> {
     STACK.with(|s| s.borrow().last().copied().map(SpanId))
 }
 
+/// An explicit trace context: the query id minted at the query
+/// boundary plus the innermost open span at capture time.
+///
+/// Capture one with [`TraceCtx::current`] *before* handing work to
+/// another thread (a coalescer submission, a pool job, a wire
+/// envelope) and use it on the far side for explicit parenting
+/// ([`span_under`]) and [`Span::follow_from`] links — implicit
+/// thread-local parentage attaches cross-thread work to whatever the
+/// executing thread happens to have open, which is the wrong query
+/// under delegated flushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The originating query id (0 outside any [`query_scope`]).
+    /// Always minted, even when tracing is disabled or the query is
+    /// sampled out, so the flight recorder can attribute events.
+    pub trace_id: u64,
+    /// The innermost open span at capture time (`None` when tracing
+    /// is off or the query was sampled out).
+    pub span_id: Option<SpanId>,
+}
+
+impl TraceCtx {
+    /// Captures the calling thread's context.
+    pub fn current() -> Self {
+        Self { trace_id: current_query(), span_id: current_span() }
+    }
+
+    /// The empty context (no query, no span).
+    pub fn none() -> Self {
+        Self { trace_id: 0, span_id: None }
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 struct Pending {
     id: u64,
     parent: Option<u64>,
@@ -240,6 +353,7 @@ struct Pending {
     start_us: u64,
     virtual_us: Option<u64>,
     attrs: Vec<(&'static str, u64)>,
+    follows: Vec<u64>,
 }
 
 /// RAII guard for one span: records wall time from construction to
@@ -286,6 +400,7 @@ fn open_span(name: &'static str, parent: Option<u64>) -> Span {
             start_us,
             virtual_us: None,
             attrs: Vec::new(),
+            follows: Vec::new(),
         }),
     }
 }
@@ -318,6 +433,18 @@ impl Span {
             p.virtual_us = Some(d.as_micros() as u64);
         }
     }
+
+    /// Records a *follow-from* link to `src`: this span is causally
+    /// downstream of `src` without being its child. The coalesced
+    /// flush span follows from every batched member's submission
+    /// span, so each member's tree reaches the shared flush.
+    pub fn follow_from(&mut self, src: SpanId) {
+        if let Some(p) = self.pending.as_mut() {
+            if !p.follows.contains(&src.0) {
+                p.follows.push(src.0);
+            }
+        }
+    }
 }
 
 impl Drop for Span {
@@ -343,6 +470,7 @@ impl Drop for Span {
             virtual_us: p.virtual_us,
             tid: thread_tid(),
             attrs: p.attrs,
+            follows: p.follows,
         };
         state().spans.lock().expect("span lock").push(rec);
     }
@@ -482,5 +610,79 @@ mod tests {
         let (v, d) = timed_span("t", || 41 + 1);
         assert_eq!(v, 42);
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn query_scopes_mint_ids_and_nest() {
+        let _g = guard();
+        disable();
+        assert_eq!(current_query(), 0);
+        let outer = query_scope();
+        let id = outer.id();
+        assert_ne!(id, 0);
+        {
+            let inner = query_scope();
+            assert_eq!(inner.id(), id, "nested scopes adopt the outer id");
+        }
+        assert_eq!(current_query(), id, "inner drop keeps the outer scope");
+        drop(outer);
+        assert_eq!(current_query(), 0);
+        // With tracing off the query id is still minted (the flight
+        // recorder keys on it) while the span side stays empty.
+        let scope = query_scope();
+        let ctx = TraceCtx::current();
+        assert_eq!(ctx.trace_id, scope.id());
+        assert!(ctx.span_id.is_none());
+        drop(scope);
+        assert_eq!(TraceCtx::current(), TraceCtx::none());
+    }
+
+    #[test]
+    fn concurrent_scopes_preserve_each_others_spans() {
+        let _g = guard();
+        enable();
+        set_span_sample(1);
+        clear_spans();
+        let a = query_scope();
+        {
+            let _s = span("a.one");
+        }
+        // A second query begins while `a` is active: its boundary must
+        // not clear a's spans out of the shared buffer.
+        std::thread::scope(|sc| {
+            sc.spawn(|| {
+                let _b = query_scope();
+                let _s = span("b.one");
+            });
+        });
+        {
+            let _s = span("a.two");
+        }
+        drop(a);
+        disable();
+        let names: Vec<_> = spans_snapshot().iter().map(|s| s.name).collect();
+        for want in ["a.one", "b.one", "a.two"] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn follow_from_links_are_recorded_and_deduplicated() {
+        let _g = guard();
+        enable();
+        clear_spans();
+        {
+            let member = span("member");
+            let src = member.id().expect("recording");
+            let mut flush = span_under("flush", None);
+            flush.follow_from(src);
+            flush.follow_from(src);
+        }
+        disable();
+        let spans = spans_snapshot();
+        let member = spans.iter().find(|s| s.name == "member").expect("member");
+        let flush = spans.iter().find(|s| s.name == "flush").expect("flush");
+        assert_eq!(flush.follows, vec![member.id]);
+        assert_eq!(flush.parent, None, "explicit parent overrides the open stack");
     }
 }

@@ -185,7 +185,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
         }
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -229,6 +229,13 @@ impl MetricsSnapshot {
         fn metric_name(s: &str) -> String {
             s.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
         }
+        /// Escapes a label value per the OpenMetrics exposition
+        /// format: `\` → `\\`, `"` → `\"`, newline → `\n`. Without
+        /// the newline rule a label containing `\n` splits the
+        /// sample across lines and the whole document is invalid.
+        fn esc_label(v: &str) -> String {
+            v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        }
         /// Splits a display key `name[label]` into the sanitized
         /// metric name and an optional `{label="..."}` selector.
         fn split_key(key: &str, extra: Option<(&str, &str)>) -> (String, String) {
@@ -238,10 +245,10 @@ impl MetricsSnapshot {
             };
             let mut pairs = Vec::new();
             if let Some(l) = label {
-                pairs.push(format!("label=\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")));
+                pairs.push(format!("label=\"{}\"", esc_label(l)));
             }
             if let Some((k, v)) = extra {
-                pairs.push(format!("{k}=\"{v}\""));
+                pairs.push(format!("{k}=\"{}\"", esc_label(v)));
             }
             let selector =
                 if pairs.is_empty() { String::new() } else { format!("{{{}}}", pairs.join(",")) };
@@ -278,6 +285,53 @@ impl MetricsSnapshot {
         }
         out.push_str("# EOF\n");
         out
+    }
+
+    /// The change since `earlier`: counters and histogram
+    /// `count`/`sum` are subtracted (saturating, so a registry
+    /// `reset` between snapshots yields zeros rather than wrapping);
+    /// gauges keep this snapshot's value (they are levels, not
+    /// totals); histogram `max` and quantiles also keep this
+    /// snapshot's values and remain **cumulative** — the bucket
+    /// counts needed for interval quantiles are not retained in a
+    /// snapshot. Series absent from `earlier` diff against zero;
+    /// series absent from `self` are dropped.
+    ///
+    /// Benchmarks use this to report per-rep numbers from the
+    /// process-global registry without cross-rep contamination.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let base_counters: BTreeMap<&str, u64> =
+            earlier.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let base_hists: BTreeMap<&str, (u64, u64)> =
+            earlier.histograms.iter().map(|h| (h.name.as_str(), (h.count, h.sum))).collect();
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), v.saturating_sub(base_counters.get(k.as_str()).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| {
+                    let (c0, s0) = base_hists.get(h.name.as_str()).copied().unwrap_or((0, 0));
+                    HistogramSnapshot {
+                        name: h.name.clone(),
+                        count: h.count.saturating_sub(c0),
+                        sum: h.sum.saturating_sub(s0),
+                        ..h.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The counter value under display key `name`, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
     }
 }
 
@@ -494,6 +548,78 @@ mod tests {
         assert!(text.ends_with("# EOF\n"), "{text}");
         // One TYPE line per metric family, even with many series.
         assert_eq!(text.matches("# TYPE net_bytes_up counter").count(), 1);
+    }
+
+    #[test]
+    fn openmetrics_escapes_label_values() {
+        let r = Registry::default();
+        r.counter_with("esc.test", Some("has \"quotes\" and \\slash\\\nand newline".into()))
+            .add(1);
+        let text = r.snapshot().to_openmetrics();
+        // Escaped form: every `\` doubled, `"` backslashed, newline
+        // as the two characters `\n` — and exactly one sample line.
+        assert!(
+            text.contains(
+                "esc_test_total{label=\"has \\\"quotes\\\" and \\\\slash\\\\\\nand newline\"} 1"
+            ),
+            "{text}"
+        );
+        let sample_lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("esc_test_total")).collect();
+        assert_eq!(sample_lines.len(), 1, "label newline split the sample: {text}");
+        // Round-trip: unescaping the rendered label restores the raw value.
+        let line = sample_lines[0];
+        let rendered = &line[line.find("label=\"").unwrap() + 7..line.rfind('"').unwrap()];
+        let mut unescaped = String::new();
+        let mut chars = rendered.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => unescaped.push('\n'),
+                    Some(other) => unescaped.push(other),
+                    None => unescaped.push('\\'),
+                }
+            } else {
+                unescaped.push(c);
+            }
+        }
+        assert_eq!(unescaped, "has \"quotes\" and \\slash\\\nand newline");
+    }
+
+    #[test]
+    fn json_escapes_newlines_in_keys() {
+        let r = Registry::default();
+        r.counter_with("nl.test", Some("line1\nline2".into())).add(3);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("nl.test[line1\\nline2]"), "{json}");
+        assert!(!json.contains("line1\nline2"), "raw newline leaked into JSON: {json}");
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histogram_totals() {
+        let r = Registry::default();
+        r.counter("d.count").add(10);
+        r.gauge("d.gauge").set(1.0);
+        r.histogram("d.hist").record(100);
+        let before = r.snapshot();
+        r.counter("d.count").add(7);
+        r.counter("d.new").add(2);
+        r.gauge("d.gauge").set(9.0);
+        r.histogram("d.hist").record(50);
+        let delta = r.snapshot().delta(&before);
+        assert_eq!(delta.counter("d.count"), 7);
+        assert_eq!(delta.counter("d.new"), 2);
+        assert_eq!(delta.counter("d.absent"), 0);
+        assert_eq!(delta.gauges.iter().find(|(k, _)| k == "d.gauge").unwrap().1, 9.0);
+        let h = delta.histograms.iter().find(|h| h.name == "d.hist").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 50);
+        assert_eq!(h.max, 100, "max stays cumulative by design");
+        // Saturating: a reset between snapshots must not wrap.
+        let empty = MetricsSnapshot::default().delta(&before);
+        assert!(empty.counters.is_empty());
+        let wrapped = before.delta(&r.snapshot());
+        assert_eq!(wrapped.counter("d.count"), 0);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a freshly generated bench artifact
+against the committed baseline and fail on regression.
+
+Usage: bench_compare.py <kind> <baseline.json> <current.json>
+  kind: kernels | serving | faults
+
+Wall-clock numbers (qps, seconds, latency percentiles) are NOT gated —
+they measure the runner, not the code. The gate covers:
+
+  * structure: required keys present, result rows non-empty, counts
+    consistent (e.g. offered == admitted + shed);
+  * deterministic values: seeded quality metrics (MRR at fault rate 0),
+    direct-mode scans-per-query (a pure function of the shard count);
+  * scan-normalized ratios with a tolerance band: batch amortization
+    (queries per scan) and kernel speedup-vs-scalar may wobble with
+    scheduling noise, but a collapse past the band means the
+    optimization actually broke (e.g. SIMD dispatch silently pinned to
+    scalar, or the coalescer stopped batching).
+
+Rows are matched by identity keys (kernel/variant/shape, or
+clients/mode); rows present only on one side are reported but only
+gate when the *baseline* row disappeared from a same-config run.
+"""
+
+import json
+import sys
+
+# A ratio metric must stay above TOLERANCE x baseline to pass. The
+# band is deliberately generous: CI boxes differ from the baseline
+# host, and this gate exists to catch collapses, not jitter.
+TOLERANCE = 0.5
+
+failures = []
+notes = []
+
+
+def fail(msg):
+    failures.append(msg)
+
+
+def note(msg):
+    notes.append(msg)
+
+
+def band(label, current, baseline):
+    """Gate `current >= TOLERANCE * baseline` for a ratio metric."""
+    if baseline <= 0:
+        note(f"{label}: baseline {baseline} not gateable")
+        return
+    if current < TOLERANCE * baseline:
+        fail(
+            f"{label}: {current:.3f} vs baseline {baseline:.3f} "
+            f"(below {TOLERANCE:.0%} band)"
+        )
+    else:
+        note(f"{label}: {current:.3f} vs baseline {baseline:.3f} ok")
+
+
+def same_config(base, cur, keys):
+    return all(base.get(k) == cur.get(k) for k in keys)
+
+
+def compare_kernels(base, cur):
+    if not cur.get("results"):
+        fail("kernels: no results")
+        return
+    reps = cur.get("reps", 0)
+    samples = cur.get("rep_samples", 0)
+    if samples and samples % max(reps, 1) != 0:
+        fail(f"kernels: rep_samples {samples} not a multiple of reps {reps}")
+    by_key = {
+        (r["kernel"], r["variant"], r["shape"]): r for r in base["results"]
+    }
+    for r in cur["results"]:
+        if r["seconds"] <= 0:
+            fail(f"kernels {r['kernel']}/{r['variant']}: non-positive time")
+        b = by_key.get((r["kernel"], r["variant"], r["shape"]))
+        if b is None:
+            # Variant names embed the SIMD tier; a different runner
+            # produces different names, which is not a regression.
+            note(f"kernels {r['kernel']}/{r['variant']}: no baseline row")
+            continue
+        # Speedup over scalar is a same-host ratio: gate it, banded.
+        # Skip overhead baselines and memory-bound shapes (their note
+        # says the ratio measures DRAM, not the kernel).
+        if r["variant"].startswith("dispatched") and "note" not in r:
+            band(
+                f"kernels {r['kernel']}/{r['variant']} speedup",
+                r["speedup_vs_scalar"],
+                b["speedup_vs_scalar"],
+            )
+
+
+def compare_serving(base, cur):
+    rows = cur.get("results", [])
+    if not rows:
+        fail("serving: no results")
+        return
+    shards = cur["shards"]
+    for r in rows:
+        if r["scans"] <= 0:
+            fail(f"serving {r['clients']}/{r['mode']}: no scans recorded")
+        if r["mode"] == "direct":
+            # Direct serving is exactly one scan per lane per query:
+            # a pure function of the shard count, gated exactly.
+            want = 1.0 / (shards + 1)
+            if abs(r["queries_per_scan"] - want) > 1e-6:
+                fail(
+                    f"serving direct@{r['clients']}: queries_per_scan "
+                    f"{r['queries_per_scan']} != {want}"
+                )
+    if not same_config(base, cur, ["docs", "shards", "queries_per_client"]):
+        note("serving: config differs from baseline; skipping row bands")
+        return
+    by_key = {(r["clients"], r["mode"]): r for r in base["results"]}
+    for r in rows:
+        b = by_key.get((r["clients"], r["mode"]))
+        if b is None:
+            note(f"serving {r['clients']}/{r['mode']}: no baseline row")
+            continue
+        if r["mode"] == "coalesced" and r["clients"] > 1:
+            # Scan amortization is the plane's raison d'etre: gate it.
+            band(
+                f"serving coalesced@{r['clients']} queries_per_scan",
+                r["queries_per_scan"],
+                b["queries_per_scan"],
+            )
+    if "speedup_scanbound_maxclients_vs_direct_1" in cur:
+        band(
+            "serving scan-bound speedup",
+            cur["speedup_scanbound_maxclients_vs_direct_1"],
+            base.get("speedup_scanbound_maxclients_vs_direct_1", 0),
+        )
+
+
+def compare_faults(base, cur):
+    rows = cur.get("results", [])
+    if not rows:
+        fail("faults: no results")
+        return
+    ov = cur.get("overload", {})
+    if ov:
+        if ov["offered"] != ov["admitted"] + ov["shed"]:
+            fail(
+                f"faults overload: offered {ov['offered']} != admitted "
+                f"{ov['admitted']} + shed {ov['shed']}"
+            )
+        if ov["admitted"] <= 0 or ov["shed"] <= 0:
+            fail("faults overload: 2x-capacity drive must admit and shed")
+    clean = next((r for r in rows if r["fault_rate"] == 0.0), None)
+    if clean is None:
+        fail("faults: no fault_rate=0 row")
+        return
+    for key in ("retries", "timeouts", "corrupted", "degraded_queries"):
+        if clean[key] != 0:
+            fail(f"faults rate=0: {key} = {clean[key]}, want 0")
+    if abs(clean["mrr_at_k"] - cur["baseline_mrr"]) > 1e-9:
+        fail("faults rate=0: MRR differs from the run's own baseline")
+    if same_config(base, cur, ["docs", "queries", "shards", "k"]):
+        # Seeded and deterministic: the clean-run MRR must match the
+        # committed baseline exactly.
+        if abs(cur["baseline_mrr"] - base["baseline_mrr"]) > 1e-6:
+            fail(
+                f"faults: baseline_mrr {cur['baseline_mrr']} != committed "
+                f"{base['baseline_mrr']} at identical config"
+            )
+    else:
+        note("faults: config differs from baseline; skipping MRR pin")
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    kind, base_path, cur_path = sys.argv[1:]
+    with open(base_path) as f:
+        base = json.load(f)
+    with open(cur_path) as f:
+        cur = json.load(f)
+    {
+        "kernels": compare_kernels,
+        "serving": compare_serving,
+        "faults": compare_faults,
+    }[kind](base, cur)
+    for n in notes:
+        print(f"  note: {n}")
+    if failures:
+        print(f"{kind}: {len(failures)} regression(s)")
+        for f_ in failures:
+            print(f"  FAIL: {f_}")
+        sys.exit(1)
+    print(f"{kind}: no regression ({len(notes)} checks)")
+
+
+if __name__ == "__main__":
+    main()
